@@ -1,0 +1,12 @@
+"""Shared helper for the bench suite."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once and return its result.
+
+    These benches are end-to-end studies, not microbenchmarks; a single
+    round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

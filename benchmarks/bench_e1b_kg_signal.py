@@ -1,0 +1,31 @@
+"""Study E1b — KG-signal sweep: the KG helps exactly when it is informative.
+
+Expected shape: at kg_signal=1.0 KG-aware methods beat BPR-MF; as the
+published KG is rewired to noise (kg_signal -> 0) the advantage shrinks or
+disappears, while BPR-MF (which ignores the KG) stays flat.
+"""
+
+from repro.experiments.comparative import study_kg_signal_sweep
+
+from ._util import run_once
+
+
+def test_kg_signal_sweep(benchmark):
+    rows = run_once(benchmark, study_kg_signal_sweep, seed=0)
+    print("\nE1b: AUC vs kg_signal")
+    for row in rows:
+        print(
+            f"  kg_signal={row['kg_signal']:.1f} {row['model']:8s} "
+            f"AUC={row['AUC']:.4f} NDCG@10={row['NDCG@10']:.4f}"
+        )
+
+    def auc_of(model, signal):
+        return next(
+            r["AUC"] for r in rows if r["model"] == model and r["kg_signal"] == signal
+        )
+
+    # KG methods' absolute advantage over CF shrinks as signal degrades.
+    gap_full = max(auc_of("KGCN", 1.0), auc_of("RCF", 1.0)) - auc_of("BPR-MF", 1.0)
+    gap_none = max(auc_of("KGCN", 0.0), auc_of("RCF", 0.0)) - auc_of("BPR-MF", 0.0)
+    print(f"\nKG-vs-CF gap: informative={gap_full:.4f}, shuffled={gap_none:.4f}")
+    assert gap_full > gap_none

@@ -1,0 +1,31 @@
+"""Study E2 — path-based methods (survey Section 4.2).
+
+Expected shape: meta-path diffusion (HeteRec) clearly beats MF and
+popularity; the deep path encoders and the RL reasoner beat chance; more
+meta-paths help HeteRec up to saturation.
+"""
+
+from repro.experiments.comparative import study_metapath_count, study_path_methods
+from repro.experiments.harness import results_table
+
+from ._util import run_once
+
+
+def test_path_methods_panel(benchmark):
+    results = run_once(benchmark, study_path_methods, seed=0)
+    print("\n" + results_table(results, title="E2: path-based methods (movie)"))
+    by_name = {r.model: r for r in results}
+    assert by_name["HeteRec"]["AUC"] > by_name["BPR-MF"]["AUC"]
+    assert by_name["HeteRec"]["AUC"] > by_name["MostPopular"]["AUC"]
+    for name in ("RKGE", "KPRN", "PGPR", "Hete-MF"):
+        assert by_name[name]["AUC"] > 0.5, name
+
+
+def test_metapath_count_sweep(benchmark):
+    rows = run_once(benchmark, study_metapath_count, seed=0)
+    print("\nE2b: HeteRec AUC vs number of meta-paths")
+    for row in rows:
+        print(f"  L={row['num_metapaths']}: AUC={row['AUC']:.4f}")
+    # More meta-paths should not hurt much: best config uses L > 1.
+    best = max(rows, key=lambda r: r["AUC"])
+    assert best["num_metapaths"] >= 2

@@ -1,0 +1,33 @@
+"""Study E3 — unified methods (survey Section 4.3) and hop-depth ablation.
+
+Expected shape (claim C3): the unified family is competitive with the best
+embedding-based and path-based representatives on the same split, and the
+propagation-depth sweep shows 1-2 hops suffice on attribute-style KGs.
+"""
+
+from repro.experiments.comparative import study_hop_depth, study_unified_methods
+from repro.experiments.harness import results_table
+
+from ._util import run_once
+
+
+def test_unified_methods_panel(benchmark):
+    results = run_once(benchmark, study_unified_methods, seed=0)
+    print("\n" + results_table(results, title="E3: unified methods (movie)"))
+    by_name = {r.model: r for r in results}
+    unified_best = max(
+        by_name[n]["AUC"] for n in ("RippleNet", "KGCN", "KGAT", "AKUPM")
+    )
+    print(f"\nbest unified AUC={unified_best:.4f}")
+    assert unified_best > 0.55
+    # Competitive with (>= within small slack) the family champions.
+    assert unified_best > by_name["CKE (best Emb.)"]["AUC"] - 0.05
+    assert unified_best > by_name["BPR-MF"]["AUC"] - 0.02
+
+
+def test_hop_depth_sweep(benchmark):
+    rows = run_once(benchmark, study_hop_depth, seed=0, hops=(1, 2))
+    print("\nE3b: AUC vs propagation depth H")
+    for row in rows:
+        print(f"  H={row['hops']} {row['model']:16s} AUC={row['AUC']:.4f}")
+    assert all(row["AUC"] > 0.45 for row in rows)

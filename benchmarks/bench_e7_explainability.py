@@ -1,0 +1,30 @@
+"""Study E7 — explanation validity (claim C4).
+
+Expected shape: the path-based and unified explainers return KG paths that
+(a) exist edge-by-edge in the graph, (b) terminate at the recommended item,
+and (c) start from the user or their history — with substantial coverage
+of the top-K recommendations.
+"""
+
+from repro.experiments.comparative import study_explainability
+
+from ._util import run_once
+
+
+def test_explanation_fidelity(benchmark):
+    rows = run_once(benchmark, study_explainability, seed=0)
+    print("\nE7: explanation fidelity over top-5 recommendations")
+    print(f"  {'model':6s} {'coverage':>9s} {'validity':>9s} {'path_len':>9s}")
+    for row in rows:
+        print(
+            f"  {row['model']:6s} {row['coverage']:9.3f} {row['validity']:9.3f} "
+            f"{row['mean_path_length']:9.2f}"
+        )
+    by_name = {r["model"]: r for r in rows}
+    # Dedicated path reasoners must justify most of what they recommend.
+    assert by_name["PGPR"]["validity"] > 0.5
+    assert by_name["RKGE"]["validity"] > 0.5
+    assert by_name["KPRN"]["validity"] > 0.5
+    # Every model's valid explanations are by construction <= coverage.
+    for row in rows:
+        assert row["validity"] <= row["coverage"] + 1e-9

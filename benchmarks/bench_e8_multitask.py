@@ -1,0 +1,27 @@
+"""Study E8 — multi-task learning weight sweep (survey Eq. 9, Section 6).
+
+Expected shape (claim C5): jointly training the KG task (lambda > 0) beats
+ignoring it (lambda = 0) for at least one of KTUP/MKR, since KG facts are
+correlated with preference in the generator.
+"""
+
+from repro.experiments.comparative import study_multitask
+
+from ._util import run_once
+
+
+def test_multitask_weight_sweep(benchmark):
+    rows = run_once(benchmark, study_multitask, seed=0, weights=(0.0, 0.5, 1.0))
+    print("\nE8: AUC vs multi-task weight lambda")
+    for row in rows:
+        print(f"  lambda={row['lambda']:.2f} {row['model']:12s} AUC={row['AUC']:.4f}")
+
+    def best_for(prefix, lam):
+        return max(
+            r["AUC"] for r in rows if r["model"].startswith(prefix) and r["lambda"] == lam
+        )
+
+    ktup_gain = max(best_for("KTUP", 0.5), best_for("KTUP", 1.0)) - best_for("KTUP", 0.0)
+    mkr_gain = max(best_for("MKR", 0.5), best_for("MKR", 1.0)) - best_for("MKR", 0.0)
+    print(f"\njoint-training gain (3-seed mean): KTUP={ktup_gain:+.4f}, MKR={mkr_gain:+.4f}")
+    assert max(ktup_gain, mkr_gain) > 0.0  # joint training helps on average

@@ -1,0 +1,18 @@
+"""Figure 1 — the worked movie-KG recommendation for Bob.
+
+Regenerates the figure's outcome: Avatar and Blood Diamond recommended,
+each justified by the exact path the survey cites (shared Sci-Fi genre with
+Interstellar; shared actor Leonardo DiCaprio with Inception).
+"""
+
+from repro.experiments.figure1 import render_figure1, run_figure1
+
+from ._util import run_once
+
+
+def test_figure1_reproduces(benchmark):
+    result = run_once(benchmark, run_figure1)
+    print("\n" + render_figure1())
+    assert result["top2_matches_figure"]
+    assert result["avatar_path_ok"]
+    assert result["blood_diamond_path_ok"]

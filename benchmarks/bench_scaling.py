@@ -1,0 +1,62 @@
+"""Scalability micro-study: training cost vs dataset size.
+
+The survey notes scalability as KGCN's design motivation (fixed-size
+sampled receptive fields) and IntentGC's selling point (vector-wise
+convolution).  This bench measures wall-clock training time of both, plus
+RippleNet, across two dataset sizes, and reports the per-interaction cost.
+Timing shape to observe: per-interaction cost stays roughly flat for the
+sampled-neighborhood models as the world grows.
+"""
+
+import time
+
+from repro.data import make_movie_dataset
+from repro.models.unified import KGCN, IntentGC, RippleNet
+
+from ._util import run_once
+
+SIZES = ((40, 60), (80, 120))
+
+
+def _measure():
+    rows = []
+    for num_users, num_items in SIZES:
+        data = make_movie_dataset(
+            seed=0, num_users=num_users, num_items=num_items, mean_interactions=10.0
+        )
+        for name, factory in (
+            ("KGCN", lambda: KGCN(epochs=5, num_negatives=1, seed=0)),
+            ("RippleNet", lambda: RippleNet(epochs=5, ripple_size=16, seed=0)),
+            ("IntentGC", lambda: IntentGC(epochs=5, seed=0)),
+        ):
+            start = time.perf_counter()
+            factory().fit(data)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "model": name,
+                    "users": num_users,
+                    "items": num_items,
+                    "interactions": data.interactions.nnz,
+                    "seconds": elapsed,
+                    "us_per_interaction": 1e6 * elapsed / (5 * data.interactions.nnz),
+                }
+            )
+    return rows
+
+
+def test_training_scaling(benchmark):
+    rows = run_once(benchmark, _measure)
+    print("\nScaling: training cost vs dataset size (5 epochs)")
+    print(f"  {'model':10s} {'users':>6s} {'items':>6s} {'nnz':>6s} {'sec':>7s} {'us/interaction':>15s}")
+    for row in rows:
+        print(
+            f"  {row['model']:10s} {row['users']:6d} {row['items']:6d} "
+            f"{row['interactions']:6d} {row['seconds']:7.2f} "
+            f"{row['us_per_interaction']:15.1f}"
+        )
+    # Sampled-receptive-field training cost grows sub-quadratically: the
+    # per-interaction cost may rise with graph size but stays within ~4x.
+    for name in ("KGCN", "RippleNet"):
+        costs = [r["us_per_interaction"] for r in rows if r["model"] == name]
+        assert costs[1] < costs[0] * 4.0, name

@@ -1,0 +1,67 @@
+"""Table 4 in motion: the KG-vs-CF comparison across all seven scenarios.
+
+The survey's dataset section argues KG side information integrates
+naturally into every application scenario.  This bench runs the same
+(BPR-MF, KGCN) pair on each scenario's synthetic stand-in and checks the
+pipeline is scenario-agnostic: every run finishes, every model is
+personalized, and the KG model is competitive everywhere.
+"""
+
+import numpy as np
+
+from repro.core.splitter import random_split
+from repro.data import SCENARIO_SCHEMAS
+from repro.data.synthetic import generate_dataset
+from repro.eval.evaluator import Evaluator
+from repro.models.baselines import BPRMF
+from repro.models.unified import KGCN
+
+from ._util import run_once
+
+
+def _panel(seed: int = 0):
+    rows = []
+    for name in sorted(SCENARIO_SCHEMAS):
+        data = generate_dataset(
+            SCENARIO_SCHEMAS[name],
+            num_users=50,
+            num_items=80,
+            mean_interactions=9.0,
+            seed=seed,
+        )
+        train, test = random_split(data, seed=seed)
+        evaluator = Evaluator(train, test, seed=seed, max_users=30)
+        bpr = evaluator.evaluate(BPRMF(epochs=20, seed=seed).fit(train))
+        kgcn = evaluator.evaluate(
+            KGCN(epochs=20, num_negatives=2, seed=seed).fit(train)
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "BPR-MF": bpr["AUC"],
+                "KGCN": kgcn["AUC"],
+                "delta": kgcn["AUC"] - bpr["AUC"],
+            }
+        )
+    return rows
+
+
+def test_all_scenarios(benchmark):
+    rows = run_once(benchmark, _panel)
+    print("\nAll seven Table 4 scenarios: AUC (BPR-MF vs KGCN)")
+    print(f"  {'scenario':9s} {'BPR-MF':>8s} {'KGCN':>8s} {'delta':>8s}")
+    for row in rows:
+        print(
+            f"  {row['scenario']:9s} {row['BPR-MF']:8.4f} {row['KGCN']:8.4f} "
+            f"{row['delta']:+8.4f}"
+        )
+    assert len(rows) == 7
+    for row in rows:
+        # The KG model must be personalized in every scenario; the CF
+        # baseline may sit at chance where interactions are too sparse —
+        # which is exactly the KG side information's selling point.
+        assert row["KGCN"] > 0.5, row["scenario"]
+    # On average across scenarios the KG model is at least competitive.
+    mean_delta = float(np.mean([r["delta"] for r in rows]))
+    print(f"\nmean KGCN-vs-BPR delta: {mean_delta:+.4f}")
+    assert mean_delta > -0.02

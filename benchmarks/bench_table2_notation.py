@@ -1,0 +1,15 @@
+"""Table 2 — notation glossary, resolved against the live API."""
+
+from repro.core.notation import TABLE2, resolve
+from repro.experiments.tables import table2
+
+from ._util import run_once
+
+
+def test_table2_regenerates(benchmark):
+    text = run_once(benchmark, table2, resolve=True)
+    print("\n" + text)
+    assert len(TABLE2) == 19
+    # Every symbol must resolve to a live API object.
+    for row in TABLE2:
+        assert resolve(row) is not None

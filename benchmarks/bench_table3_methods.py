@@ -1,0 +1,21 @@
+"""Table 3 — the 39 collected papers with usage/technique flags, regenerated
+from the model registry (the 'Implemented' column reflects shipped code)."""
+
+import repro.models  # noqa: F401 - populate the registry
+from repro.core.registry import SURVEY_TABLE3, Usage, is_implemented
+from repro.experiments.tables import table3
+
+from ._util import run_once
+
+
+def test_table3_regenerates(benchmark):
+    text = run_once(benchmark, table3)
+    print("\n" + text)
+    assert len(SURVEY_TABLE3) == 39
+    implemented = [c.name for c in SURVEY_TABLE3 if is_implemented(c.name)]
+    print(f"\nImplemented: {len(implemented)}/39 -> {', '.join(implemented)}")
+    assert len(implemented) == 39  # full Table 3 coverage
+    # Family counts match the paper's grouping.
+    assert sum(c.usage is Usage.EMBEDDING for c in SURVEY_TABLE3) == 14
+    assert sum(c.usage is Usage.PATH for c in SURVEY_TABLE3) == 15
+    assert sum(c.usage is Usage.UNIFIED for c in SURVEY_TABLE3) == 10

@@ -1,0 +1,92 @@
+"""Bring your own data: build a Dataset + KnowledgeGraph from raw records.
+
+Everything in the library runs on two structures — an
+:class:`InteractionMatrix` and a :class:`KnowledgeGraph` aligned to items.
+This example builds both by hand for a small book store, lifts the item
+graph into a user-item graph, inspects the network schema, and trains two
+models on it.
+
+Run:  python examples/build_your_own_kg.py
+"""
+
+import numpy as np
+
+from repro.core import Dataset, InteractionMatrix, random_split
+from repro.eval import Evaluator
+from repro.kg import KnowledgeGraph, NetworkSchema, TripleStore, build_user_item_graph
+from repro.models.embedding_based import CFKG
+from repro.models.unified import RippleNet
+
+BOOKS = ["Dune", "Hyperion", "Neuromancer", "Emma", "Persuasion", "Dracula"]
+AUTHORS = ["Herbert", "Simmons", "Gibson", "Austen", "Stoker"]
+GENRES = ["sci-fi", "romance", "horror"]
+
+
+def build_dataset() -> Dataset:
+    # Entity layout: books first (aligned with item ids), then attributes.
+    labels = BOOKS + AUTHORS + GENRES
+    e = {name: i for i, name in enumerate(labels)}
+    relations = ["written_by", "has_genre"]
+    triples = [
+        (e["Dune"], 0, e["Herbert"]),
+        (e["Hyperion"], 0, e["Simmons"]),
+        (e["Neuromancer"], 0, e["Gibson"]),
+        (e["Emma"], 0, e["Austen"]),
+        (e["Persuasion"], 0, e["Austen"]),
+        (e["Dracula"], 0, e["Stoker"]),
+        (e["Dune"], 1, e["sci-fi"]),
+        (e["Hyperion"], 1, e["sci-fi"]),
+        (e["Neuromancer"], 1, e["sci-fi"]),
+        (e["Emma"], 1, e["romance"]),
+        (e["Persuasion"], 1, e["romance"]),
+        (e["Dracula"], 1, e["horror"]),
+    ]
+    kg = KnowledgeGraph(
+        TripleStore.from_triples(triples, len(labels), len(relations)),
+        entity_labels=labels,
+        relation_labels=relations,
+        entity_types=np.asarray([0] * 6 + [1] * 5 + [2] * 3),
+        type_names=["book", "author", "genre"],
+    )
+    # Six readers; sci-fi fans, Austen fans, and one eclectic reader.
+    interactions = InteractionMatrix.from_pairs(
+        [
+            (0, 0), (0, 1), (0, 2),          # reader 0: all sci-fi
+            (1, 0), (1, 1),                   # reader 1: sci-fi
+            (2, 3), (2, 4),                   # reader 2: Austen
+            (3, 3), (3, 4), (3, 5),           # reader 3: Austen + horror
+            (4, 2), (4, 1),                   # reader 4: sci-fi
+            (5, 5), (5, 0),                   # reader 5: eclectic
+        ],
+        num_users=6,
+        num_items=6,
+    )
+    return Dataset(
+        name="bookstore",
+        interactions=interactions,
+        kg=kg,
+        item_entities=np.arange(6, dtype=np.int64),
+    )
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print("Dataset:", dataset.describe())
+
+    # Lift to a user-item graph and inspect the HIN schema.
+    lifted = build_user_item_graph(dataset)
+    print("\nNetwork schema of the lifted graph:")
+    for line in NetworkSchema(lifted.kg).describe():
+        print("  " + line)
+
+    # Train on everything (the store is tiny) and recommend.
+    model = RippleNet(epochs=20, hops=2, ripple_size=8, seed=0).fit(dataset)
+    cfkg = CFKG(epochs=20, seed=0).fit(dataset)
+    for user in (0, 2):
+        for name, m in (("RippleNet", model), ("CFKG", cfkg)):
+            recs = [BOOKS[int(v)] for v in m.recommend(user, k=2)]
+            print(f"\n{name} recommends for reader {user}: {', '.join(recs)}")
+
+
+if __name__ == "__main__":
+    main()

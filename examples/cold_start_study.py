@@ -1,0 +1,45 @@
+"""Cold-start study: why KGs are recommender systems' safety net.
+
+Reproduces the survey's core motivation (Sections 1 and 2.2): collaborative
+filtering has nothing to say about an item nobody has interacted with,
+while a KG-aware model can still place it near the items that share its
+attributes.  We hold out 25% of items entirely and measure AUC on them.
+
+Run:  python examples/cold_start_study.py
+"""
+
+from repro.data import make_movie_dataset
+from repro.eval.coldstart import cold_start_study
+from repro.models.baselines import BPRMF, ItemKNN
+from repro.models.embedding_based import CFKG, CKE
+from repro.models.unified import KGCN
+
+
+def main() -> None:
+    dataset = make_movie_dataset(seed=0, num_users=80, num_items=120)
+    print("Dataset:", dataset.describe())
+    print("Holding out 25% of items as cold (zero training interactions)...\n")
+
+    rows = cold_start_study(
+        dataset,
+        {
+            "BPR-MF (pure CF)": lambda: BPRMF(epochs=25, seed=0),
+            "ItemKNN (pure CF)": lambda: ItemKNN(),
+            "CKE (KG embedding)": lambda: CKE(epochs=25, seed=0),
+            "CFKG (user-item KG)": lambda: CFKG(epochs=25, seed=0),
+            "KGCN (KG GNN)": lambda: KGCN(epochs=25, num_negatives=2, seed=0),
+        },
+        cold_fraction=0.25,
+        seed=0,
+    )
+    print(f"{'model':22s} {'cold-item AUC':>14s}")
+    for row in rows:
+        print(f"{row['model']:22s} {row['value']:14.4f}")
+    print(
+        "\nReading: 0.5 is chance. CF models cannot rank items they never saw;\n"
+        "KG-aware models exploit shared attributes to place cold items."
+    )
+
+
+if __name__ == "__main__":
+    main()

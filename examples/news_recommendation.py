@@ -1,0 +1,71 @@
+"""News recommendation with DKN: content + knowledge channels.
+
+The survey singles out news as the scenario where KGs matter most: articles
+are short-lived and condensed, so understanding them needs the entity
+layer.  The synthetic news scenario provides both channels — text features
+and a ``mentions`` KG — and this example compares DKN against a text-blind
+CF baseline and a KG-distance heuristic (SED).
+
+Run:  python examples/news_recommendation.py
+"""
+
+from repro.core import random_split
+from repro.data import make_news_dataset
+from repro.eval import Evaluator
+from repro.experiments import results_table
+from repro.models.baselines import BPRMF
+from repro.models.embedding_based import DKN, SED
+
+
+def main() -> None:
+    # News feedback is sparse and fast-moving; keep density realistic so the
+    # content/knowledge channels have something to add over pure CF.
+    dataset = make_news_dataset(seed=0, num_users=60, num_items=90, mean_interactions=7.0)
+    print("Dataset:", dataset.describe())
+    print("Text features per article:", dataset.item_text.shape[1])
+
+    train, test = random_split(dataset, seed=0)
+    evaluator = Evaluator(train, test, seed=0, max_users=40)
+
+    models = {
+        "BPR-MF (no content, no KG)": BPRMF(epochs=30, seed=0).fit(train),
+        "SED (KG distance only)": SED().fit(train),
+        "DKN (text + KG channels)": DKN(epochs=12, seed=0).fit(train),
+    }
+    results = [evaluator.evaluate(m, name=n) for n, m in models.items()]
+    print()
+    print(results_table(results, title="News recommendation (synthetic Bing-News)"))
+
+    # Where the content/knowledge channels really pay off: *new* articles.
+    # News items have no interaction history by definition of the scenario;
+    # the cold-item protocol makes CF blind while content models still rank.
+    from repro.eval import cold_start_study
+
+    print("\nCold-article ranking (the regime news recommendation lives in):")
+    rows = cold_start_study(
+        dataset,
+        {
+            "BPR-MF": lambda: BPRMF(epochs=30, seed=0),
+            "SED": lambda: SED(),
+            "DKN": lambda: DKN(epochs=12, seed=0),
+        },
+        cold_fraction=0.25,
+        seed=0,
+    )
+    for row in rows:
+        print(f"  {row['model']:8s} cold-article AUC={row['value']:.4f}")
+
+    # Inspect what the KG contributes: entities mentioned by one article.
+    kg = dataset.kg
+    article = 0
+    entity = dataset.entity_of_item(article)
+    mentions = [
+        kg.entity_label(t)
+        for r, t in kg.neighbors(entity, undirected=False)
+        if kg.relation_label(r) == "mentions"
+    ]
+    print(f"\nArticle 0 mentions: {', '.join(mentions)}")
+
+
+if __name__ == "__main__":
+    main()

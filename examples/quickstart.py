@@ -1,0 +1,47 @@
+"""Quickstart: train a KG-aware recommender and compare it with pure CF.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import random_split
+from repro.data import make_movie_dataset
+from repro.eval import Evaluator
+from repro.experiments import results_table
+from repro.models.baselines import BPRMF, MostPopular
+from repro.models.unified import KGCN
+
+
+def main() -> None:
+    # 1. A synthetic MovieLens-style dataset with an aligned item KG:
+    #    movies link to genres/actors/directors, and those links carry the
+    #    preference signal (that is the survey's core premise).
+    dataset = make_movie_dataset(seed=0)
+    print("Dataset:", dataset.describe())
+    print("KG relations:", dataset.kg.relation_labels)
+
+    # 2. Hold out 20% of interactions.
+    train, test = random_split(dataset, seed=0)
+
+    # 3. Fit a pure-CF baseline and a KG-aware GNN on the same split.
+    models = {
+        "MostPopular": MostPopular().fit(train),
+        "BPR-MF": BPRMF(epochs=30, seed=0).fit(train),
+        "KGCN": KGCN(epochs=25, num_negatives=2, seed=0).fit(train),
+    }
+
+    # 4. Evaluate on identical candidate sets.
+    evaluator = Evaluator(train, test, seed=0, max_users=60)
+    results = [evaluator.evaluate(m, name=n) for n, m in models.items()]
+    print()
+    print(results_table(results, title="Quickstart: CF vs KG-aware"))
+
+    # 5. Produce a recommendation list for one user.
+    user = 0
+    recs = models["KGCN"].recommend(user, k=5)
+    print(f"\nTop-5 for user {user}:")
+    for item in recs:
+        print(f"  {dataset.kg.entity_label(dataset.entity_of_item(int(item)))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate the survey's artifacts and studies.
+
+Usage::
+
+    python -m repro table 1            # print Table 1 (likewise 2, 3, 4)
+    python -m repro figure1            # run and print Figure 1
+    python -m repro study e1           # run a comparative study (e1..e8)
+    python -m repro scenarios          # list dataset generators
+    python -m repro models             # list implemented models by family
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table(number: int) -> str:
+    from repro.experiments import tables
+
+    return {1: tables.table1, 2: tables.table2, 3: tables.table3, 4: tables.table4}[
+        number
+    ]()
+
+
+def _cmd_figure1() -> str:
+    from repro.experiments.figure1 import render_figure1
+
+    return render_figure1()
+
+
+def _cmd_study(name: str, seed: int) -> str:
+    from repro.experiments import comparative
+    from repro.experiments.harness import results_table
+
+    runners = {
+        "e1": comparative.study_embedding_methods,
+        "e1b": comparative.study_kg_signal_sweep,
+        "e2": comparative.study_path_methods,
+        "e2b": comparative.study_metapath_count,
+        "e3": comparative.study_unified_methods,
+        "e3b": comparative.study_hop_depth,
+        "e4": comparative.study_cold_start,
+        "e4b": comparative.study_sparsity,
+        "e5": comparative.study_kge_link_prediction,
+        "e5b": comparative.study_kge_downstream,
+        "e6": comparative.study_aggregators,
+        "e7": comparative.study_explainability,
+        "e8": comparative.study_multitask,
+    }
+    if name not in runners:
+        raise SystemExit(f"unknown study {name!r}; choose from {sorted(runners)}")
+    result = runners[name](seed=seed)
+    if result and hasattr(result[0], "model") and hasattr(result[0], "values"):
+        return results_table(result, title=f"Study {name.upper()}")
+    lines = [f"Study {name.upper()}"]
+    for row in result:
+        lines.append(
+            "  " + "  ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+                             for k, v in row.items())
+        )
+    return "\n".join(lines)
+
+
+def _cmd_scenarios() -> str:
+    from repro.data import SCENARIO_SCHEMAS
+
+    lines = ["Available scenario generators (repro.data.make_<name>_dataset):"]
+    for name, schema in sorted(SCENARIO_SCHEMAS.items()):
+        attrs = ", ".join(a.name for a in schema.attributes)
+        lines.append(f"  {name:8s} item={schema.item_type:10s} attributes: {attrs}")
+    return "\n".join(lines)
+
+
+def _cmd_models() -> str:
+    import repro.models  # noqa: F401 - populate registry
+    from repro.core.registry import Usage, card_for, list_registered
+
+    lines = []
+    for usage in (Usage.EMBEDDING, Usage.PATH, Usage.UNIFIED, Usage.BASELINE):
+        names = list_registered(usage)
+        lines.append(f"{usage.value} ({len(names)}):")
+        for name in names:
+            card = card_for(name)
+            venue = f"{card.venue} {card.year}" if card.year else "baseline"
+            lines.append(f"  {name:14s} {venue}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="KG-based recommender systems survey reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="print a regenerated survey table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    sub.add_parser("figure1", help="run the Figure 1 reproduction")
+
+    p_study = sub.add_parser("study", help="run a comparative study")
+    p_study.add_argument("name", help="e1, e1b, e2, ..., e8")
+    p_study.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("scenarios", help="list synthetic dataset generators")
+    sub.add_parser("models", help="list implemented models by family")
+
+    p_report = sub.add_parser("report", help="build the full reproduction report")
+    p_report.add_argument("--output", "-o", default=None, help="write to file")
+    p_report.add_argument("--full", action="store_true", help="full-size studies")
+    p_report.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "table":
+        print(_cmd_table(args.number))
+    elif args.command == "figure1":
+        print(_cmd_figure1())
+    elif args.command == "study":
+        print(_cmd_study(args.name, args.seed))
+    elif args.command == "scenarios":
+        print(_cmd_scenarios())
+    elif args.command == "models":
+        print(_cmd_models())
+    elif args.command == "report":
+        from repro.experiments.report import build_report, write_report
+
+        if args.output:
+            path = write_report(args.output, fast=not args.full, seed=args.seed)
+            print(f"report written to {path}")
+        else:
+            print(build_report(fast=not args.full, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

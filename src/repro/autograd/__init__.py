@@ -1,0 +1,17 @@
+"""Reverse-mode autograd engine and neural building blocks (pure NumPy)."""
+
+from . import losses, nn, ops
+from .optim import SGD, Adagrad, Adam, Optimizer
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "ops",
+    "nn",
+    "losses",
+    "Optimizer",
+    "SGD",
+    "Adagrad",
+    "Adam",
+]

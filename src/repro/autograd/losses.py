@@ -1,0 +1,51 @@
+"""Loss functions used by the surveyed training objectives.
+
+* :func:`bpr_loss` — pairwise Bayesian Personalized Ranking, the implicit
+  feedback loss most embedding/unified methods optimize (Eq. 10 pattern).
+* :func:`bce_with_logits` — pointwise log loss (RippleNet, KGCN, MKR).
+* :func:`margin_ranking_loss` — hinge over triple scores (Eq. 11, TransE
+  family, CFKG).
+* :func:`mse_loss` — explicit feedback / reconstruction (SHINE, Hete-MF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+__all__ = ["bpr_loss", "bce_with_logits", "margin_ranking_loss", "mse_loss"]
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """``-mean(log sigma(pos - neg))`` over paired positive/negative scores."""
+    diff = pos_scores - neg_scores
+    return -ops.log(ops.clip_probability(ops.sigmoid(diff))).mean()
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Binary cross-entropy on raw scores, numerically stable.
+
+    ``loss = mean(softplus(logits) - targets * logits)``.
+    """
+    targets = as_tensor(np.asarray(targets, dtype=np.float64))
+    return (ops.softplus(logits) - targets * logits).mean()
+
+
+def margin_ranking_loss(
+    positive: Tensor, negative: Tensor, margin: float = 1.0
+) -> Tensor:
+    """``mean(max(0, margin + positive - negative))``.
+
+    Written for *distance-style* scores where smaller is better for valid
+    triples, matching the survey's Eq. 11 hinge.
+    """
+    raw = positive - negative + margin
+    return ops.relu(raw).mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = as_tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - target
+    return (diff * diff).mean()

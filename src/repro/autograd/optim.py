@@ -1,0 +1,110 @@
+"""First-order optimizers for autograd parameters.
+
+All optimizers share the same contract: construct with the parameter list,
+call :meth:`step` after gradients were produced by ``backward``, then
+:meth:`zero_grad`.  ``weight_decay`` applies decoupled L2 shrinkage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adagrad", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer holding the parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.params = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _decay(self, p: Tensor) -> None:
+        if self.weight_decay:
+            p.data *= 1.0 - self.lr * self.weight_decay
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                update = v
+            else:
+                update = p.grad
+            self._decay(p)
+            p.data -= self.lr * update
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-coordinate learning rates from accumulated squares."""
+
+    def __init__(self, params, lr: float = 0.05, eps: float = 1e-10, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._accum):
+            if p.grad is None:
+                continue
+            acc += p.grad**2
+            self._decay(p)
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 0.005,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            self._decay(p)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,336 @@
+"""A small reverse-mode automatic differentiation engine over NumPy.
+
+The surveyed models mix embeddings, MLPs, recurrent cells, CNN text encoders,
+attention, and GNN message passing.  Rather than hand-deriving gradients per
+model, the library ships this minimal autograd: a :class:`Tensor` wrapping a
+NumPy array, a computation tape, and reverse-mode :meth:`Tensor.backward`.
+
+Design notes
+------------
+* Only float64 arrays; shapes follow NumPy broadcasting, and gradients of
+  broadcast operands are reduced back to the operand shape.
+* Integer "fancy" indexing is differentiable (scatter-add on the backward
+  pass), which is how embedding lookups are implemented.
+* The tape is built eagerly; :meth:`Tensor.backward` topologically sorts it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were added or broadcast from ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes where the original dimension was 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with an attached gradient and backward function."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------ #
+    # autograd machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs; non-scalar roots require
+        an explicit seed gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() on non-scalar requires a gradient")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64).reshape(self.data.shape)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @staticmethod
+    def _make(data, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(
+            data,
+            requires_grad=requires,
+            _parents=tuple(p for p in parents if p.requires_grad),
+            _backward=backward if requires else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / other.data**2, other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        out_data = a @ b
+
+        def backward(grad: np.ndarray) -> None:
+            # Promote 1-d operands the way numpy's matmul does, compute the
+            # 2-d/batched gradient, then squeeze the promoted axis back out.
+            a2 = a[None, :] if a.ndim == 1 else a
+            b2 = b[:, None] if b.ndim == 1 else b
+            g = grad
+            if a.ndim == 1:
+                g = np.expand_dims(g, axis=-2)
+            if b.ndim == 1:
+                g = np.expand_dims(g, axis=-1)
+            if self.requires_grad:
+                ga = g @ np.swapaxes(b2, -1, -2)
+                if a.ndim == 1:
+                    ga = ga.reshape(-1, a.shape[0]).sum(axis=0)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(a2, -1, -2) @ g
+                if b.ndim == 1:
+                    gb = gb.reshape(b.shape[0], -1).sum(axis=1)
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        axes = axes or None
+        out_data = self.data.transpose(*axes) if axes else self.data.T
+        if axes:
+            inverse = np.argsort(axes)
+        else:
+            inverse = None
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(
+                    grad.transpose(*inverse) if inverse is not None else grad.T
+                )
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Maximum along ``axis``; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            mask = self.data == expanded
+            # Split ties evenly so the gradient check stays symmetric.
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce arrays/scalars to (constant) tensors; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,59 @@
+"""Core abstractions: datasets, interactions, splits, the model API."""
+
+from .dataset import Dataset
+from .exceptions import (
+    ConfigError,
+    DataError,
+    EvaluationError,
+    GraphError,
+    KgrecError,
+    NotFittedError,
+)
+from .config import GridResult, grid_search
+from .interactions import InteractionMatrix
+from .io import load_dataset, save_dataset
+from .recommender import Explanation, Recommender
+from .registry import (
+    SURVEY_TABLE3,
+    TECHNIQUES,
+    ModelCard,
+    Usage,
+    card_for,
+    get_model_class,
+    is_implemented,
+    list_registered,
+    register_model,
+)
+from .rng import ensure_rng, spawn
+from .splitter import cold_start_item_split, leave_one_out_split, random_split
+
+__all__ = [
+    "Dataset",
+    "InteractionMatrix",
+    "save_dataset",
+    "load_dataset",
+    "grid_search",
+    "GridResult",
+    "Recommender",
+    "Explanation",
+    "KgrecError",
+    "ConfigError",
+    "DataError",
+    "GraphError",
+    "NotFittedError",
+    "EvaluationError",
+    "ensure_rng",
+    "spawn",
+    "random_split",
+    "leave_one_out_split",
+    "cold_start_item_split",
+    "Usage",
+    "TECHNIQUES",
+    "ModelCard",
+    "SURVEY_TABLE3",
+    "register_model",
+    "get_model_class",
+    "list_registered",
+    "card_for",
+    "is_implemented",
+]

@@ -1,0 +1,69 @@
+"""Hyper-parameter search utilities.
+
+The comparative studies use fixed, documented hyper-parameters; for users
+adapting models to their own data, :func:`grid_search` sweeps a parameter
+grid with a shared train/validation split and returns every configuration's
+score, best first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .dataset import Dataset
+from .exceptions import ConfigError
+from .recommender import Recommender
+from .splitter import random_split
+
+__all__ = ["GridResult", "grid_search"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """One evaluated configuration."""
+
+    params: dict[str, Any]
+    score: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"GridResult({inner} -> {self.score:.4f})"
+
+
+def grid_search(
+    model_factory: Callable[..., Recommender],
+    dataset: Dataset,
+    grid: dict[str, list],
+    metric: str = "AUC",
+    test_fraction: float = 0.2,
+    max_users: int | None = 40,
+    seed: int = 0,
+) -> list[GridResult]:
+    """Exhaustive grid search over model keyword arguments.
+
+    ``model_factory(**params)`` must return an unfitted model.  Every
+    configuration trains on the same split and is scored with the same
+    evaluator; results are sorted best-first.
+    """
+    if not grid:
+        raise ConfigError("empty parameter grid")
+    for key, values in grid.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigError(f"grid entry {key!r} must be a non-empty list")
+
+    from repro.eval.evaluator import Evaluator  # local: avoid import cycle
+
+    train, test = random_split(dataset, test_fraction=test_fraction, seed=seed)
+    evaluator = Evaluator(train, test, max_users=max_users, seed=seed)
+
+    keys = sorted(grid)
+    results: list[GridResult] = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        model = model_factory(**params).fit(train)
+        score = evaluator.evaluate(model)[metric]
+        results.append(GridResult(params=params, score=score))
+    results.sort(key=lambda r: -r.score)
+    return results

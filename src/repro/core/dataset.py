@@ -1,0 +1,121 @@
+"""Dataset container tying interactions to a knowledge graph.
+
+A :class:`Dataset` bundles the user-item feedback matrix with the side
+information the survey studies: a knowledge graph plus the alignment between
+items (and optionally users) and KG entities.  Models receive a dataset whose
+``interactions`` field holds *training* feedback; evaluation code keeps the
+held-out matrix separately (see :mod:`repro.core.splitter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .exceptions import DataError
+from .interactions import InteractionMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kg.graph import KnowledgeGraph
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A recommendation dataset with optional KG side information.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name, e.g. ``"synthetic-movielens"``.
+    interactions:
+        The user-item feedback matrix ``R`` (training portion when split).
+    kg:
+        Knowledge graph side information, or ``None`` for pure-CF data.
+    item_entities:
+        Integer array of length ``num_items`` mapping item id -> KG entity
+        id, or ``None`` when no KG is attached.  ``-1`` marks unaligned items.
+    user_entities:
+        Like ``item_entities`` for users; only set for user-item graphs.
+    item_text:
+        Optional ``(num_items, t)`` float array of item content features
+        (stands in for the textual/visual channels used by CKE and DKN).
+    extra:
+        Free-form metadata (scenario name, generator parameters, ...).
+    """
+
+    name: str
+    interactions: InteractionMatrix
+    kg: "KnowledgeGraph | None" = None
+    item_entities: np.ndarray | None = None
+    user_entities: np.ndarray | None = None
+    item_text: np.ndarray | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.item_entities is not None:
+            ents = np.asarray(self.item_entities, dtype=np.int64)
+            if ents.shape != (self.num_items,):
+                raise DataError("item_entities must have one entry per item")
+            object.__setattr__(self, "item_entities", ents)
+        if self.user_entities is not None:
+            ents = np.asarray(self.user_entities, dtype=np.int64)
+            if ents.shape != (self.num_users,):
+                raise DataError("user_entities must have one entry per user")
+            object.__setattr__(self, "user_entities", ents)
+        if self.item_text is not None:
+            text = np.asarray(self.item_text, dtype=np.float64)
+            if text.ndim != 2 or text.shape[0] != self.num_items:
+                raise DataError("item_text must be (num_items, t)")
+            object.__setattr__(self, "item_text", text)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self.interactions.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.interactions.num_items
+
+    @property
+    def has_kg(self) -> bool:
+        return self.kg is not None
+
+    def with_interactions(self, interactions: InteractionMatrix) -> "Dataset":
+        """A copy of this dataset carrying different feedback (same KG)."""
+        if interactions.shape != self.interactions.shape:
+            raise DataError("replacement interactions must keep the same shape")
+        return replace(self, interactions=interactions)
+
+    def entity_of_item(self, item_id: int) -> int:
+        """KG entity id aligned with ``item_id`` (raises without a KG)."""
+        if self.item_entities is None:
+            raise DataError(f"dataset {self.name!r} has no item-entity alignment")
+        return int(self.item_entities[item_id])
+
+    def item_of_entity(self, entity_id: int) -> int | None:
+        """Inverse alignment: item id for ``entity_id`` or ``None``."""
+        if self.item_entities is None:
+            raise DataError(f"dataset {self.name!r} has no item-entity alignment")
+        hits = np.flatnonzero(self.item_entities == entity_id)
+        return int(hits[0]) if hits.size else None
+
+    def describe(self) -> dict[str, Any]:
+        """Summary statistics used by example scripts and benches."""
+        info: dict[str, Any] = {
+            "name": self.name,
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "interactions": self.interactions.nnz,
+            "density": round(self.interactions.density, 6),
+            "has_kg": self.has_kg,
+        }
+        if self.kg is not None:
+            info["kg_entities"] = self.kg.num_entities
+            info["kg_relations"] = self.kg.num_relations
+            info["kg_triples"] = self.kg.num_triples
+        return info

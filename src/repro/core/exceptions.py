@@ -1,0 +1,32 @@
+"""Exception hierarchy for the kgrec reproduction framework.
+
+All library errors derive from :class:`KgrecError` so callers can catch one
+base class.  Specific subclasses signal configuration problems, data problems,
+and misuse of model APIs (e.g. predicting before fitting).
+"""
+
+from __future__ import annotations
+
+
+class KgrecError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(KgrecError):
+    """An invalid hyper-parameter or option combination was supplied."""
+
+
+class DataError(KgrecError):
+    """Input data is malformed (bad shapes, ids out of range, empty sets)."""
+
+
+class NotFittedError(KgrecError):
+    """A model method requiring training was called before ``fit``."""
+
+
+class GraphError(KgrecError):
+    """A knowledge-graph operation received inconsistent graph inputs."""
+
+
+class EvaluationError(KgrecError):
+    """An evaluation protocol could not be carried out on the given split."""

@@ -1,0 +1,125 @@
+"""Dataset and knowledge-graph (de)serialization.
+
+Datasets round-trip through a single ``.npz`` archive (arrays) plus an
+embedded JSON blob (labels, names, JSON-safe metadata), so a generated
+world can be shared or pinned for regression testing without re-running
+the generator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import Dataset
+from .exceptions import DataError
+from .interactions import InteractionMatrix
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz``); returns the resolved path.
+
+    Only JSON-serializable entries of ``dataset.extra`` are persisted;
+    NumPy arrays in ``extra`` (e.g. the generator's latent matrices) are
+    stored as arrays and restored as arrays.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"version": _FORMAT_VERSION, "name": dataset.name, "extra": {}}
+
+    pairs = dataset.interactions.pairs()
+    arrays["interaction_pairs"] = pairs
+    meta["num_users"] = dataset.num_users
+    meta["num_items"] = dataset.num_items
+
+    if dataset.kg is not None:
+        kg = dataset.kg
+        arrays["kg_triples"] = kg.triples()
+        meta["kg"] = {
+            "num_entities": kg.num_entities,
+            "num_relations": kg.num_relations,
+            "entity_labels": kg.entity_labels,
+            "relation_labels": kg.relation_labels,
+            "type_names": kg.type_names,
+        }
+        if kg.entity_types is not None:
+            arrays["kg_entity_types"] = kg.entity_types
+    if dataset.item_entities is not None:
+        arrays["item_entities"] = dataset.item_entities
+    if dataset.user_entities is not None:
+        arrays["user_entities"] = dataset.user_entities
+    if dataset.item_text is not None:
+        arrays["item_text"] = dataset.item_text
+
+    for key, value in dataset.extra.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"extra_array__{key}"] = value
+        else:
+            try:
+                json.dumps(value)
+            except TypeError:
+                continue  # silently skip non-serializable entries
+            meta["extra"][key] = value
+
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Inverse of :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise DataError(f"{path} is not a kgrec dataset archive")
+        meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise DataError(f"unsupported archive version {meta.get('version')}")
+
+        pairs = archive["interaction_pairs"]
+        interactions = InteractionMatrix.from_pairs(
+            pairs, meta["num_users"], meta["num_items"]
+        )
+
+        kg = None
+        if "kg_triples" in archive:
+            from repro.kg.graph import KnowledgeGraph
+
+            kg_meta = meta["kg"]
+            kg = KnowledgeGraph.from_triples(
+                archive["kg_triples"],
+                num_entities=kg_meta["num_entities"],
+                num_relations=kg_meta["num_relations"],
+                entity_labels=kg_meta["entity_labels"],
+                relation_labels=kg_meta["relation_labels"],
+                entity_types=(
+                    archive["kg_entity_types"] if "kg_entity_types" in archive else None
+                ),
+                type_names=kg_meta["type_names"],
+            )
+
+        extra = dict(meta["extra"])
+        for key in archive.files:
+            if key.startswith("extra_array__"):
+                extra[key[len("extra_array__") :]] = archive[key]
+
+        return Dataset(
+            name=meta["name"],
+            interactions=interactions,
+            kg=kg,
+            item_entities=(
+                archive["item_entities"] if "item_entities" in archive else None
+            ),
+            user_entities=(
+                archive["user_entities"] if "user_entities" in archive else None
+            ),
+            item_text=archive["item_text"] if "item_text" in archive else None,
+            extra=extra,
+        )

@@ -1,0 +1,83 @@
+"""Executable version of the survey's Table 2 (notation glossary).
+
+Each :class:`Notation` row maps a mathematical symbol used throughout the
+survey to its description *and* to the API object in this library that
+realizes it.  ``api`` is a dotted path; :func:`resolve` imports it so tests
+can assert that every notation is backed by working code.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+__all__ = ["Notation", "TABLE2", "resolve"]
+
+
+@dataclass(frozen=True)
+class Notation:
+    symbol: str
+    description: str
+    api: str  # dotted path "module:attr" realizing the concept
+
+
+TABLE2: tuple[Notation, ...] = (
+    Notation("u_i", "User i", "repro.core.dataset:Dataset"),
+    Notation("v_j", "Item j", "repro.core.dataset:Dataset"),
+    Notation("e_k", "Entity k in the knowledge graph", "repro.kg.graph:KnowledgeGraph"),
+    Notation(
+        "r_k",
+        "Relation between two entities in the knowledge graph",
+        "repro.kg.triples:TripleStore",
+    ),
+    Notation(
+        "y_hat_ij",
+        "Predicted user u_i's preference for item v_j",
+        "repro.core.recommender:Recommender",
+    ),
+    Notation("u_i (bold)", "Latent vector of user u_i", "repro.models.baselines.bpr:BPRMF"),
+    Notation("v_j (bold)", "Latent vector of item v_j", "repro.models.baselines.bpr:BPRMF"),
+    Notation(
+        "e_k (bold)",
+        "Latent vector of entity e_k in the KG",
+        "repro.kge.base:KGEModel",
+    ),
+    Notation(
+        "r_k (bold)",
+        "Latent vector of relation r_k in the KG",
+        "repro.kge.base:KGEModel",
+    ),
+    Notation("U (set)", "User set", "repro.core.interactions:InteractionMatrix"),
+    Notation("V (set)", "Item set", "repro.core.interactions:InteractionMatrix"),
+    Notation("U (matrix)", "Latent vectors of the user set", "repro.models.baselines.mf:FunkSVD"),
+    Notation("V (matrix)", "Latent vectors of the item set", "repro.models.baselines.mf:FunkSVD"),
+    Notation(
+        "R",
+        "User-item interaction matrix",
+        "repro.core.interactions:InteractionMatrix",
+    ),
+    Notation(
+        "p_k",
+        "One path k connecting two entities in the knowledge graph",
+        "repro.kg.metapath:enumerate_paths",
+    ),
+    Notation(
+        "P(e_i, e_j)",
+        "Path set between entity pair (e_i, e_j)",
+        "repro.kg.metapath:enumerate_paths",
+    ),
+    Notation("Phi", "Nonlinear transformation", "repro.autograd.ops:sigmoid"),
+    Notation("odot", "Element-wise product", "repro.autograd.tensor:Tensor"),
+    Notation("oplus", "Vector concatenation", "repro.autograd.ops:concat"),
+)
+
+
+def resolve(notation: Notation):
+    """Import and return the API object backing ``notation``.
+
+    Raises ``ImportError``/``AttributeError`` when the mapping is stale,
+    which the test suite treats as a broken table.
+    """
+    module_name, __, attr = notation.api.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,172 @@
+"""Model registry reproducing the survey's Table 3.
+
+Table 3 of the survey catalogs 39 KG-based recommender papers with their
+publication venue/year, how they use the KG (embedding-based, path-based, or
+unified), and which framework techniques they employ (CNN, RNN, attention,
+GNN, GAN, RL, autoencoder, matrix factorization).  This module keeps that
+catalog as data (:data:`SURVEY_TABLE3`) and links each row to the class
+implementing it in this library, so the table can be regenerated from the
+code itself (see :mod:`repro.experiments.tables`).
+
+A few technique cells in the published PDF are typographically corrupted; for
+those rows the flags were reconstructed from the cited papers' architectures,
+which the table is summarizing in the first place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .exceptions import ConfigError
+
+__all__ = [
+    "Usage",
+    "TECHNIQUES",
+    "ModelCard",
+    "SURVEY_TABLE3",
+    "register_model",
+    "get_model_class",
+    "list_registered",
+    "card_for",
+]
+
+
+class Usage(enum.Enum):
+    """How a method uses the knowledge graph (Table 3 'Usage' columns)."""
+
+    EMBEDDING = "Emb."
+    PATH = "Path"
+    UNIFIED = "Uni."
+    BASELINE = "Baseline"  # not in Table 3; classic CF comparators
+
+
+#: Technique columns of Table 3, in the paper's order.
+TECHNIQUES: tuple[str, ...] = ("CNN", "RNN", "Att.", "GNN", "GAN", "RL", "AE", "MF")
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """One row of Table 3 (or a baseline entry)."""
+
+    name: str
+    venue: str
+    year: int
+    usage: Usage
+    techniques: frozenset[str] = field(default_factory=frozenset)
+    ref: int | None = None  # citation number in the survey
+
+    def __post_init__(self) -> None:
+        unknown = self.techniques - set(TECHNIQUES)
+        if unknown:
+            raise ConfigError(f"unknown technique flags: {sorted(unknown)}")
+
+    def technique_row(self) -> tuple[bool, ...]:
+        """Boolean flags aligned with :data:`TECHNIQUES`."""
+        return tuple(t in self.techniques for t in TECHNIQUES)
+
+
+def _card(name, venue, year, usage, techs=(), ref=None):
+    return ModelCard(name, venue, year, usage, frozenset(techs), ref)
+
+
+#: The 39 rows of the survey's Table 3, in the paper's order.
+SURVEY_TABLE3: tuple[ModelCard, ...] = (
+    _card("CKE", "KDD", 2016, Usage.EMBEDDING, {"AE"}, 2),
+    _card("entity2rec", "RecSys", 2017, Usage.EMBEDDING, (), 66),
+    _card("ECFKG", "Algorithms", 2018, Usage.EMBEDDING, (), 67),
+    _card("SHINE", "WSDM", 2018, Usage.EMBEDDING, {"AE"}, 68),
+    _card("DKN", "WWW", 2018, Usage.EMBEDDING, {"CNN", "Att."}, 48),
+    _card("KSR", "SIGIR", 2018, Usage.EMBEDDING, {"RNN", "Att."}, 44),
+    _card("CFKG", "SIGIR", 2018, Usage.EMBEDDING, (), 13),
+    _card("KTGAN", "ICDM", 2018, Usage.EMBEDDING, {"GAN"}, 69),
+    _card("KTUP", "WWW", 2019, Usage.EMBEDDING, (), 70),
+    _card("MKR", "WWW", 2019, Usage.EMBEDDING, {"Att."}, 45),
+    _card("DKFM", "WWW", 2019, Usage.EMBEDDING, (), 71),
+    _card("SED", "WWW", 2019, Usage.EMBEDDING, (), 72),
+    _card("RCF", "SIGIR", 2019, Usage.EMBEDDING, {"Att."}, 73),
+    _card("BEM", "CIKM", 2019, Usage.EMBEDDING, (), 74),
+    _card("Hete-MF", "IJCAI", 2013, Usage.PATH, {"MF"}, 75),
+    _card("HeteRec", "RecSys", 2013, Usage.PATH, {"MF"}, 76),
+    _card("HeteRec_p", "WSDM", 2014, Usage.PATH, {"MF"}, 77),
+    _card("Hete-CF", "ICDM", 2014, Usage.PATH, {"MF"}, 78),
+    _card("SemRec", "CIKM", 2015, Usage.PATH, {"MF"}, 79),
+    _card("ProPPR", "RecSys", 2016, Usage.PATH, {"MF"}, 80),
+    _card("FMG", "KDD", 2017, Usage.PATH, {"MF"}, 3),
+    _card("MCRec", "KDD", 2018, Usage.PATH, {"CNN", "Att.", "MF"}, 1),
+    _card("RKGE", "RecSys", 2018, Usage.PATH, {"RNN", "Att."}, 81),
+    _card("HERec", "TKDE", 2019, Usage.PATH, {"MF"}, 82),
+    _card("KPRN", "AAAI", 2019, Usage.PATH, {"RNN", "Att."}, 83),
+    _card("RuleRec", "WWW", 2019, Usage.PATH, {"MF"}, 84),
+    _card("PGPR", "SIGIR", 2019, Usage.PATH, {"RL"}, 85),
+    _card("EIUM", "MM", 2019, Usage.PATH, {"CNN", "Att."}, 86),
+    _card("Ekar", "arXiv", 2019, Usage.PATH, {"RL"}, 87),
+    _card("RippleNet", "CIKM", 2018, Usage.UNIFIED, {"Att."}, 14),
+    _card("RippleNet-agg", "TOIS", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 88),
+    _card("KGCN", "WWW", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 89),
+    _card("KGAT", "KDD", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 90),
+    _card("KGCN-LS", "KDD", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 91),
+    _card("AKUPM", "KDD", 2019, Usage.UNIFIED, {"Att."}, 92),
+    _card("KNI", "KDD", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 93),
+    _card("IntentGC", "KDD", 2019, Usage.UNIFIED, {"GNN"}, 94),
+    _card("RCoLM", "IEEE Access", 2019, Usage.UNIFIED, {"Att."}, 95),
+    _card("AKGE", "arXiv", 2019, Usage.UNIFIED, {"Att.", "GNN"}, 96),
+)
+
+_CARDS_BY_NAME: dict[str, ModelCard] = {c.name: c for c in SURVEY_TABLE3}
+_REGISTRY: dict[str, type] = {}
+
+
+def register_model(name: str, card: ModelCard | None = None):
+    """Class decorator binding an implementation to a Table 3 row.
+
+    ``name`` must match a Table 3 entry unless a custom ``card`` is supplied
+    (used for baselines and extensions outside the survey's table).
+    """
+
+    def decorator(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ConfigError(f"model {name!r} registered twice")
+        if card is None and name not in _CARDS_BY_NAME:
+            raise ConfigError(
+                f"{name!r} is not a Table 3 method; pass an explicit card"
+            )
+        if card is not None:
+            _CARDS_BY_NAME.setdefault(name, card)
+        _REGISTRY[name] = cls
+        cls.model_name = name
+        return cls
+
+    return decorator
+
+
+def get_model_class(name: str) -> type:
+    """Look up the implementation class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"no implementation registered for {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_registered(usage: Usage | None = None) -> list[str]:
+    """Names of all registered implementations, optionally by usage type."""
+    names = sorted(_REGISTRY)
+    if usage is None:
+        return names
+    return [n for n in names if _CARDS_BY_NAME[n].usage is usage]
+
+
+def card_for(name: str) -> ModelCard:
+    """The :class:`ModelCard` (Table 3 row or baseline card) for ``name``."""
+    try:
+        return _CARDS_BY_NAME[name]
+    except KeyError:
+        raise ConfigError(f"no model card for {name!r}") from None
+
+
+def is_implemented(name: str) -> bool:
+    """Whether a Table 3 method has an implementation in this library."""
+    return name in _REGISTRY

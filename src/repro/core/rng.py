@@ -1,0 +1,31 @@
+"""Seeding helpers.
+
+Every stochastic component in the library takes either an integer ``seed`` or
+a :class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes both forms,
+and :func:`spawn` derives independent child generators so that two components
+seeded from the same parent do not consume each other's stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,176 @@
+"""The seven application scenarios of the survey's Table 4.
+
+Each ``make_*_dataset`` function stands in for the public datasets the
+surveyed papers evaluate on (MovieLens, Book-Crossing, Last.FM, Amazon
+Product data, Yelp, Bing-News, Weibo), with a KG schema matching how those
+papers construct graphs from Freebase/Satori/DBpedia side information.
+All functions share the generator knobs of
+:func:`repro.data.synthetic.generate_dataset`.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataset import Dataset
+
+from .synthetic import AttributeSpec, ScenarioSchema, generate_dataset
+
+__all__ = [
+    "MOVIE_SCHEMA",
+    "BOOK_SCHEMA",
+    "MUSIC_SCHEMA",
+    "PRODUCT_SCHEMA",
+    "POI_SCHEMA",
+    "NEWS_SCHEMA",
+    "SOCIAL_SCHEMA",
+    "SCENARIO_SCHEMAS",
+    "make_movie_dataset",
+    "make_book_dataset",
+    "make_music_dataset",
+    "make_product_dataset",
+    "make_poi_dataset",
+    "make_news_dataset",
+    "make_social_dataset",
+]
+
+
+#: MovieLens-style: movies linked to genres/actors/directors/countries, the
+#: exact attribute set the survey lists for movie KGs built from Satori/IMDB.
+MOVIE_SCHEMA = ScenarioSchema(
+    scenario="movie",
+    item_type="movie",
+    attributes=(
+        AttributeSpec("genre", "has_genre", count=12, per_item=(1, 3)),
+        AttributeSpec("actor", "acted_by", count=60, per_item=(2, 4)),
+        AttributeSpec("director", "directed_by", count=25, per_item=(1, 1)),
+        AttributeSpec(
+            "country", "produced_in", count=8, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("actor", "born_in", "country", 1),),
+)
+
+#: Book-Crossing / Amazon-Book style.
+BOOK_SCHEMA = ScenarioSchema(
+    scenario="book",
+    item_type="book",
+    attributes=(
+        AttributeSpec("genre", "has_genre", count=10, per_item=(1, 2)),
+        AttributeSpec("author", "written_by", count=40, per_item=(1, 2)),
+        AttributeSpec(
+            "publisher", "published_by", count=12, per_item=(1, 1), informative=False
+        ),
+        AttributeSpec(
+            "era", "published_in", count=6, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("author", "writes_for", "publisher", 1),),
+)
+
+#: Last.FM / KKBox style.
+MUSIC_SCHEMA = ScenarioSchema(
+    scenario="music",
+    item_type="track",
+    attributes=(
+        AttributeSpec("genre", "has_genre", count=10, per_item=(1, 2)),
+        AttributeSpec("artist", "performed_by", count=50, per_item=(1, 2)),
+        AttributeSpec("album", "on_album", count=40, per_item=(1, 1)),
+        AttributeSpec(
+            "label", "released_by", count=8, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("artist", "signed_to", "label", 1),),
+)
+
+#: Amazon Product data style; ``also_bought``-like structure comes from the
+#: brand/category co-membership rather than an explicit item-item relation.
+PRODUCT_SCHEMA = ScenarioSchema(
+    scenario="product",
+    item_type="product",
+    attributes=(
+        AttributeSpec("category", "in_category", count=14, per_item=(1, 2)),
+        AttributeSpec("brand", "has_brand", count=30, per_item=(1, 1)),
+        AttributeSpec(
+            "price_band", "priced_at", count=5, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("brand", "sells_in", "category", 2),),
+)
+
+#: Yelp-challenge style POI recommendation.
+POI_SCHEMA = ScenarioSchema(
+    scenario="poi",
+    item_type="business",
+    attributes=(
+        AttributeSpec("cuisine", "serves", count=12, per_item=(1, 2)),
+        AttributeSpec("city", "located_in", count=10, per_item=(1, 1)),
+        AttributeSpec(
+            "price_band", "priced_at", count=4, per_item=(1, 1), informative=False
+        ),
+        AttributeSpec("ambience", "has_ambience", count=8, per_item=(1, 2)),
+    ),
+)
+
+#: Bing-News style; articles carry text features (DKN's content channel) and
+#: mention KG entities.
+NEWS_SCHEMA = ScenarioSchema(
+    scenario="news",
+    item_type="article",
+    attributes=(
+        AttributeSpec("topic", "about_topic", count=10, per_item=(1, 2)),
+        AttributeSpec("entity", "mentions", count=80, per_item=(2, 5)),
+        AttributeSpec(
+            "source", "published_by", count=10, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("entity", "related_to", "topic", 1),),
+    text_dim=32,
+)
+
+#: Weibo-style celebrity recommendation (SHINE's sentiment-link task): items
+#: are celebrities with domains and organizations.
+SOCIAL_SCHEMA = ScenarioSchema(
+    scenario="social",
+    item_type="celebrity",
+    attributes=(
+        AttributeSpec("domain", "works_in", count=8, per_item=(1, 2)),
+        AttributeSpec("organization", "member_of", count=20, per_item=(1, 1)),
+        AttributeSpec(
+            "region", "based_in", count=6, per_item=(1, 1), informative=False
+        ),
+    ),
+    attribute_links=(("organization", "located_in", "region", 1),),
+)
+
+SCENARIO_SCHEMAS: dict[str, ScenarioSchema] = {
+    s.scenario: s
+    for s in (
+        MOVIE_SCHEMA,
+        BOOK_SCHEMA,
+        MUSIC_SCHEMA,
+        PRODUCT_SCHEMA,
+        POI_SCHEMA,
+        NEWS_SCHEMA,
+        SOCIAL_SCHEMA,
+    )
+}
+
+
+def _maker(schema: ScenarioSchema):
+    def make(seed=None, **kwargs) -> Dataset:
+        return generate_dataset(schema, seed=seed, **kwargs)
+
+    make.__name__ = f"make_{schema.scenario}_dataset"
+    make.__doc__ = (
+        f"Synthetic {schema.scenario} dataset with an aligned item KG.\n\n"
+        f"Accepts all :func:`repro.data.synthetic.generate_dataset` knobs."
+    )
+    return make
+
+
+make_movie_dataset = _maker(MOVIE_SCHEMA)
+make_book_dataset = _maker(BOOK_SCHEMA)
+make_music_dataset = _maker(MUSIC_SCHEMA)
+make_product_dataset = _maker(PRODUCT_SCHEMA)
+make_poi_dataset = _maker(POI_SCHEMA)
+make_news_dataset = _maker(NEWS_SCHEMA)
+make_social_dataset = _maker(SOCIAL_SCHEMA)

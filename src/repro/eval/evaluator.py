@@ -1,0 +1,175 @@
+"""End-to-end evaluation protocol.
+
+For every user with held-out items, :class:`Evaluator` ranks the full item
+catalog excluding training interactions (the full-sort protocol), computes
+the top-K metrics of :mod:`repro.eval.metrics`, and computes AUC on the
+held-out positives against sampled unseen negatives.  Results are averaged
+over users; :meth:`Evaluator.compare` runs a panel of models on identical
+candidate sets for fair side-by-side tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import EvaluationError
+from repro.core.recommender import Recommender
+from repro.core.rng import ensure_rng
+
+from . import metrics
+
+__all__ = ["EvalResult", "Evaluator"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Averaged metrics for one model on one split."""
+
+    model: str
+    values: dict[str, float]
+    num_users: int
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    def row(self, columns: list[str]) -> list[float]:
+        return [self.values[c] for c in columns]
+
+
+class Evaluator:
+    """Evaluates recommenders on a train/test split.
+
+    Parameters
+    ----------
+    train, test:
+        Datasets sharing shape and KG; ``test.interactions`` holds the
+        held-out feedback.
+    k_values:
+        Cutoffs for top-K metrics.
+    num_negatives:
+        Negatives sampled per user for AUC.
+    max_users:
+        Optional cap on evaluated users (speeds up large sweeps); users are
+        subsampled deterministically from ``seed``.
+    """
+
+    def __init__(
+        self,
+        train: Dataset,
+        test: Dataset,
+        k_values: tuple[int, ...] = (5, 10),
+        num_negatives: int = 50,
+        max_users: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if train.interactions.shape != test.interactions.shape:
+            raise EvaluationError("train/test must share the matrix shape")
+        self.train = train
+        self.test = test
+        self.k_values = tuple(k_values)
+        self.num_negatives = num_negatives
+        rng = ensure_rng(seed)
+
+        eligible = [
+            u
+            for u in range(test.num_users)
+            if test.interactions.items_of(u).size > 0
+        ]
+        if not eligible:
+            raise EvaluationError("no user has held-out interactions")
+        if max_users is not None and len(eligible) > max_users:
+            eligible = list(
+                rng.choice(np.asarray(eligible), size=max_users, replace=False)
+            )
+        self.users = [int(u) for u in eligible]
+        # Pre-sample AUC negatives per user so every model sees the same set.
+        self._negatives: dict[int, np.ndarray] = {}
+        num_items = train.num_items
+        for u in self.users:
+            seen = set(train.interactions.items_of(u).tolist())
+            seen |= set(test.interactions.items_of(u).tolist())
+            pool = np.asarray(
+                [v for v in range(num_items) if v not in seen], dtype=np.int64
+            )
+            if pool.size == 0:
+                continue
+            take = min(self.num_negatives, pool.size)
+            self._negatives[u] = rng.choice(pool, size=take, replace=False)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, model: Recommender, name: str | None = None) -> EvalResult:
+        """Average metrics for a fitted model over all evaluated users."""
+        if not model.is_fitted:
+            raise EvaluationError("model must be fitted before evaluation")
+        per_metric: dict[str, list[float]] = {}
+
+        def push(key: str, value: float) -> None:
+            per_metric.setdefault(key, []).append(value)
+
+        max_k = max(self.k_values)
+        for user in self.users:
+            relevant = set(self.test.interactions.items_of(user).tolist())
+            scores = np.array(model.score_all(user), dtype=np.float64, copy=True)
+            ranked_scores = scores.copy()
+            ranked_scores[self.train.interactions.items_of(user)] = -np.inf
+            order = np.argsort(-ranked_scores, kind="stable")[: max_k * 4]
+
+            for k in self.k_values:
+                push(f"Precision@{k}", metrics.precision_at_k(order, relevant, k))
+                push(f"Recall@{k}", metrics.recall_at_k(order, relevant, k))
+                push(f"NDCG@{k}", metrics.ndcg_at_k(order, relevant, k))
+                push(f"HR@{k}", metrics.hit_ratio_at_k(order, relevant, k))
+            push("MRR", metrics.reciprocal_rank(order, relevant))
+
+            negatives = self._negatives.get(user)
+            if negatives is not None and negatives.size:
+                pos_scores = scores[list(relevant)]
+                push("AUC", metrics.auc(pos_scores, scores[negatives]))
+
+        values = {key: float(np.mean(vals)) for key, vals in per_metric.items()}
+        return EvalResult(
+            model=name or type(model).__name__,
+            values=values,
+            num_users=len(self.users),
+        )
+
+    def per_user_metric(self, model: Recommender, metric: str = "AUC") -> np.ndarray:
+        """Per-user values of one metric (for significance testing)."""
+        rows: list[float] = []
+        max_k = max(self.k_values)
+        for user in self.users:
+            relevant = set(self.test.interactions.items_of(user).tolist())
+            scores = np.array(model.score_all(user), dtype=np.float64, copy=True)
+            if metric == "AUC":
+                negatives = self._negatives.get(user)
+                if negatives is None or not negatives.size:
+                    continue
+                rows.append(metrics.auc(scores[list(relevant)], scores[negatives]))
+                continue
+            ranked = scores.copy()
+            ranked[self.train.interactions.items_of(user)] = -np.inf
+            order = np.argsort(-ranked, kind="stable")[: max_k * 4]
+            name, __, k_str = metric.partition("@")
+            k = int(k_str) if k_str else max_k
+            fn = {
+                "Precision": metrics.precision_at_k,
+                "Recall": metrics.recall_at_k,
+                "NDCG": metrics.ndcg_at_k,
+                "HR": metrics.hit_ratio_at_k,
+            }[name]
+            rows.append(fn(order, relevant, k))
+        return np.asarray(rows, dtype=np.float64)
+
+    def compare(
+        self, models: dict[str, Recommender], fit: bool = True
+    ) -> list[EvalResult]:
+        """Fit (optionally) and evaluate a panel of models on this split."""
+        results = []
+        for name, model in models.items():
+            if fit and not model.is_fitted:
+                model.fit(self.train)
+            results.append(self.evaluate(model, name=name))
+        return results

@@ -1,0 +1,80 @@
+"""Sampled-candidate ranking protocol (the NCF/KSR evaluation style).
+
+Several surveyed papers (KSR and the sequential line) evaluate with
+leave-one-out plus sampled negatives: the held-out item is ranked against
+``num_negatives`` unseen items, and HR@K/NDCG@K/MRR are averaged over
+users.  :func:`sampled_ranking_evaluation` implements that protocol on top
+of any fitted :class:`~repro.core.recommender.Recommender`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import EvaluationError
+from repro.core.recommender import Recommender
+from repro.core.rng import ensure_rng
+
+from . import metrics
+
+__all__ = ["sampled_ranking_evaluation"]
+
+
+def sampled_ranking_evaluation(
+    model: Recommender,
+    train: Dataset,
+    test: Dataset,
+    num_negatives: int = 99,
+    k_values: tuple[int, ...] = (5, 10),
+    max_users: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> dict[str, float]:
+    """Leave-one-out style sampled ranking metrics.
+
+    For every (user, held-out item) pair, the item competes against
+    ``num_negatives`` items the user never interacted with (train or test).
+    Returns averaged ``HR@K``, ``NDCG@K``, and ``MRR``.
+    """
+    if not model.is_fitted:
+        raise EvaluationError("model must be fitted")
+    rng = ensure_rng(seed)
+    per_metric: dict[str, list[float]] = {}
+
+    users = [
+        u for u in range(test.num_users) if test.interactions.items_of(u).size > 0
+    ]
+    if not users:
+        raise EvaluationError("no held-out interactions to evaluate")
+    if max_users is not None and len(users) > max_users:
+        users = list(rng.choice(np.asarray(users), size=max_users, replace=False))
+
+    for user in users:
+        user = int(user)
+        seen = set(train.interactions.items_of(user).tolist())
+        seen |= set(test.interactions.items_of(user).tolist())
+        pool = np.asarray(
+            [v for v in range(train.num_items) if v not in seen], dtype=np.int64
+        )
+        if pool.size == 0:
+            continue
+        scores = model.score_all(user)
+        for held in test.interactions.items_of(user):
+            take = min(num_negatives, pool.size)
+            negatives = rng.choice(pool, size=take, replace=False)
+            candidates = np.concatenate([[int(held)], negatives])
+            order = candidates[np.argsort(-scores[candidates], kind="stable")]
+            relevant = {int(held)}
+            for k in k_values:
+                per_metric.setdefault(f"HR@{k}", []).append(
+                    metrics.hit_ratio_at_k(order, relevant, k)
+                )
+                per_metric.setdefault(f"NDCG@{k}", []).append(
+                    metrics.ndcg_at_k(order, relevant, k)
+                )
+            per_metric.setdefault("MRR", []).append(
+                metrics.reciprocal_rank(order, relevant)
+            )
+    if not per_metric:
+        raise EvaluationError("no evaluable (user, item) pairs")
+    return {key: float(np.mean(vals)) for key, vals in per_metric.items()}

@@ -1,0 +1,6 @@
+"""Experiments: table/figure regeneration and comparative studies."""
+
+from . import comparative, figure1, tables
+from .harness import run_panel, results_table
+
+__all__ = ["tables", "figure1", "comparative", "run_panel", "results_table"]

@@ -1,0 +1,326 @@
+"""Comparative studies validating the survey's qualitative claims (E1-E8).
+
+The survey reports no unified benchmark numbers of its own; its evaluative
+content is a set of claims about how the method families behave.  Each
+study here operationalizes one claim on the synthetic scenarios and returns
+rows a bench can print.  Pass criteria live in DESIGN.md (C1-C5).
+
+Studies default to small workloads so the full bench suite stays fast;
+every knob is exposed for larger runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.splitter import random_split
+from repro.data import make_movie_dataset
+from repro.eval.coldstart import cold_start_study, sparsity_sweep
+from repro.eval.evaluator import Evaluator
+from repro.eval.explain import explanation_fidelity
+from repro.kg.completion import evaluate_link_prediction
+from repro.kge import KGE_MODELS
+from repro.models.baselines import BPRMF, ItemKNN, MostPopular
+from repro.models.embedding_based import CFKG, CKE, MKR, KTUP, RCF
+from repro.models.path_based import KPRN, PGPR, HeteMF, HeteRec, RKGE
+from repro.models.unified import KGAT, KGCN, AKUPM, RippleNet
+
+from .harness import run_panel, results_table
+
+__all__ = [
+    "study_embedding_methods",
+    "study_kg_signal_sweep",
+    "study_path_methods",
+    "study_unified_methods",
+    "study_cold_start",
+    "study_kge_link_prediction",
+    "study_aggregators",
+    "study_explainability",
+    "study_multitask",
+    "DEFAULT_DATA_KWARGS",
+]
+
+#: Shared small-but-meaningful dataset size for the studies.  The mean
+#: interaction count keeps density under ~9%, the sparse regime where the
+#: survey situates KG-based recommendation (public datasets are sparser
+#: still: MovieLens-1M is ~4%).
+DEFAULT_DATA_KWARGS = dict(num_users=80, num_items=120, mean_interactions=10.0)
+
+
+def _movie(seed: int = 0, **overrides):
+    kwargs = {**DEFAULT_DATA_KWARGS, **overrides}
+    return make_movie_dataset(seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# E1 — embedding-based methods vs pure CF
+# ---------------------------------------------------------------------- #
+def study_embedding_methods(seed: int = 0, epochs: int = 25):
+    """CF baselines vs embedding-based KG methods on the movie scenario."""
+    dataset = _movie(seed=seed)
+    factories = {
+        "MostPopular": lambda: MostPopular(),
+        "ItemKNN": lambda: ItemKNN(),
+        "BPR-MF": lambda: BPRMF(epochs=epochs, seed=seed),
+        "CKE": lambda: CKE(epochs=epochs, seed=seed),
+        "CFKG": lambda: CFKG(epochs=epochs, seed=seed),
+        "MKR": lambda: MKR(epochs=epochs, seed=seed),
+        "KTUP": lambda: KTUP(epochs=epochs, seed=seed),
+        "RCF": lambda: RCF(epochs=epochs, seed=seed),
+    }
+    return run_panel(dataset, factories, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# E1b — KG signal sweep: the KG helps exactly when it is informative
+# ---------------------------------------------------------------------- #
+def study_kg_signal_sweep(
+    seed: int = 0,
+    signals: tuple[float, ...] = (1.0, 0.5, 0.0),
+    epochs: int = 25,
+):
+    """KG-aware vs CF as the published KG's fidelity degrades."""
+    rows = []
+    for signal in signals:
+        dataset = _movie(seed=seed, kg_signal=signal)
+        results = run_panel(
+            dataset,
+            {
+                "BPR-MF": lambda: BPRMF(epochs=epochs, seed=seed),
+                "KGCN": lambda: KGCN(epochs=epochs, seed=seed),
+                "RCF": lambda: RCF(epochs=epochs, seed=seed),
+            },
+            seed=seed,
+        )
+        for r in results:
+            rows.append(
+                {"kg_signal": signal, "model": r.model, "AUC": r["AUC"],
+                 "NDCG@10": r["NDCG@10"]}
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E2 — path-based methods
+# ---------------------------------------------------------------------- #
+def study_path_methods(seed: int = 0, epochs: int = 8):
+    dataset = _movie(seed=seed)
+    factories = {
+        "MostPopular": lambda: MostPopular(),
+        "BPR-MF": lambda: BPRMF(epochs=25, seed=seed),
+        "Hete-MF": lambda: HeteMF(epochs=10, seed=seed),
+        "HeteRec": lambda: HeteRec(seed=seed),
+        "RKGE": lambda: RKGE(epochs=epochs, seed=seed),
+        "KPRN": lambda: KPRN(epochs=epochs, seed=seed),
+        "PGPR": lambda: PGPR(epochs=6, seed=seed),
+    }
+    return run_panel(dataset, factories, seed=seed)
+
+
+def study_metapath_count(seed: int = 0, counts: tuple[int, ...] = (1, 2, 4)):
+    """HeteRec as a function of the number of meta-paths L."""
+    dataset = _movie(seed=seed)
+    rows = []
+    for count in counts:
+        results = run_panel(
+            dataset,
+            {f"HeteRec(L={count})": lambda c=count: HeteRec(num_metapaths=c, seed=seed)},
+            seed=seed,
+        )
+        rows.append(
+            {"num_metapaths": count, "AUC": results[0]["AUC"],
+             "NDCG@10": results[0]["NDCG@10"]}
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E3 — unified methods and the hop-depth ablation
+# ---------------------------------------------------------------------- #
+def study_unified_methods(seed: int = 0, epochs: int = 20):
+    dataset = _movie(seed=seed)
+    factories = {
+        "BPR-MF": lambda: BPRMF(epochs=25, seed=seed),
+        "CKE (best Emb.)": lambda: CKE(epochs=25, seed=seed),
+        "HeteRec (best Path)": lambda: HeteRec(seed=seed),
+        "RippleNet": lambda: RippleNet(epochs=epochs, num_negatives=2, seed=seed),
+        "KGCN": lambda: KGCN(epochs=epochs, num_negatives=2, seed=seed),
+        "KGAT": lambda: KGAT(epochs=10, seed=seed),
+        "AKUPM": lambda: AKUPM(epochs=epochs, seed=seed),
+    }
+    return run_panel(dataset, factories, seed=seed)
+
+
+def study_hop_depth(seed: int = 0, hops: tuple[int, ...] = (1, 2, 3)):
+    """RippleNet/KGCN ripple-hop sweep (propagation depth ablation)."""
+    dataset = _movie(seed=seed)
+    rows = []
+    for h in hops:
+        results = run_panel(
+            dataset,
+            {
+                f"RippleNet(H={h})": lambda hh=h: RippleNet(
+                    hops=hh, epochs=15, num_negatives=2, seed=seed
+                ),
+                f"KGCN(H={h})": lambda hh=h: KGCN(
+                    hops=hh, num_neighbors=8, epochs=20, num_negatives=2, seed=seed
+                ),
+            },
+            seed=seed,
+        )
+        for r in results:
+            rows.append({"hops": h, "model": r.model, "AUC": r["AUC"]})
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E4 — sparsity and cold start
+# ---------------------------------------------------------------------- #
+def study_cold_start(seed: int = 0):
+    """Cold-item AUC: KG methods vs CF (the survey's core motivation)."""
+    dataset = _movie(seed=seed)
+    factories = {
+        "BPR-MF": lambda: BPRMF(epochs=25, seed=seed),
+        "ItemKNN": lambda: ItemKNN(),
+        "CKE": lambda: CKE(epochs=25, seed=seed),
+        "KGCN": lambda: KGCN(epochs=25, num_negatives=2, seed=seed),
+        "CFKG": lambda: CFKG(epochs=25, seed=seed),
+    }
+    return cold_start_study(dataset, factories, seed=seed)
+
+
+def study_sparsity(seed: int = 0, levels: tuple[float, ...] = (25.0, 12.0, 6.0)):
+    """AUC as mean interactions per user shrinks."""
+    factories = {
+        "BPR-MF": lambda: BPRMF(epochs=25, seed=seed),
+        "KGCN": lambda: KGCN(epochs=25, num_negatives=2, seed=seed),
+    }
+    size_kwargs = {
+        k: v for k, v in DEFAULT_DATA_KWARGS.items() if k != "mean_interactions"
+    }
+    return sparsity_sweep(
+        make_movie_dataset,
+        factories,
+        mean_interactions=levels,
+        seed=seed,
+        **size_kwargs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# E5 — KGE model comparison (link prediction)
+# ---------------------------------------------------------------------- #
+def study_kge_link_prediction(
+    seed: int = 0, epochs: int = 25, dim: int = 16, holdout: float = 0.15
+):
+    """Translation-distance vs semantic-matching KGE on the movie KG."""
+    dataset = _movie(seed=seed)
+    kg = dataset.kg
+    rng = np.random.default_rng(seed)
+    triples = kg.triples()
+    order = rng.permutation(triples.shape[0])
+    n_test = max(10, int(holdout * triples.shape[0]))
+    test = triples[order[:n_test]]
+    train = triples[order[n_test:]]
+    from repro.kg.triples import TripleStore
+
+    train_store = TripleStore.from_triples(train, kg.num_entities, kg.num_relations)
+    rows = []
+    for name, cls in KGE_MODELS.items():
+        model = cls(kg.num_entities, kg.num_relations, dim=dim, seed=seed)
+        model.fit(train_store, epochs=epochs, seed=seed)
+        result = evaluate_link_prediction(
+            model.score_triples, test, kg.store, kg.num_entities
+        )
+        rows.append({"model": name, **result.as_dict()})
+    return rows
+
+
+def study_kge_downstream(
+    seed: int = 0,
+    kge_models: tuple[str, ...] = ("TransE", "TransR", "DistMult"),
+    epochs: int = 25,
+):
+    """Downstream effect of the KGE choice: CKE and CFKG per KGE model.
+
+    The survey's Future Directions asks under which circumstances each KGE
+    family should be adopted; this measures the recommendation-side answer.
+    """
+    dataset = _movie(seed=seed)
+    factories = {}
+    for name in kge_models:
+        factories[f"CKE[{name}]"] = lambda n=name: CKE(kge=n, epochs=epochs, seed=seed)
+        factories[f"CFKG[{name}]"] = lambda n=name: CFKG(kge=n, epochs=epochs, seed=seed)
+    return run_panel(dataset, factories, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# E6 — aggregator ablation (Eq. 30-33)
+# ---------------------------------------------------------------------- #
+def study_aggregators(seed: int = 0, epochs: int = 20):
+    dataset = _movie(seed=seed)
+    factories = {
+        f"KGCN[{agg}]": (
+            lambda a=agg: KGCN(aggregator=a, epochs=epochs, num_negatives=2, seed=seed)
+        )
+        for agg in ("sum", "concat", "neighbor", "bi-interaction")
+    }
+    return run_panel(dataset, factories, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# E7 — explanation validity
+# ---------------------------------------------------------------------- #
+def study_explainability(seed: int = 0):
+    """Path validity/coverage for the explanation-capable models."""
+    dataset = _movie(seed=seed)
+    train, __ = random_split(dataset, seed=seed)
+    rows = []
+    for name, factory in {
+        "CFKG": lambda: CFKG(epochs=20, seed=seed),
+        "RKGE": lambda: RKGE(epochs=5, seed=seed),
+        "KPRN": lambda: KPRN(epochs=5, seed=seed),
+        "PGPR": lambda: PGPR(epochs=5, seed=seed),
+        "KGAT": lambda: KGAT(epochs=8, seed=seed),
+    }.items():
+        model = factory().fit(train)
+        fidelity = explanation_fidelity(model, users=list(range(15)), k=5)
+        rows.append({"model": name, **fidelity})
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E8 — multi-task weight sweep
+# ---------------------------------------------------------------------- #
+def study_multitask(
+    seed: int = 0,
+    weights: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0),
+    epochs: int = 25,
+    num_seeds: int = 3,
+):
+    """KTUP/MKR joint-training weight lambda (Eq. 9) sweep.
+
+    Single-seed gains are noisy at this scale, so each (model, lambda) cell
+    is the mean AUC over ``num_seeds`` dataset/training seeds.
+    """
+    rows = []
+    for lam in weights:
+        sums: dict[str, float] = {"KTUP": 0.0, "MKR": 0.0}
+        for offset in range(num_seeds):
+            s = seed + offset
+            dataset = _movie(seed=s)
+            results = run_panel(
+                dataset,
+                {
+                    "KTUP": lambda w=lam, ss=s: KTUP(kg_weight=w, epochs=epochs, seed=ss),
+                    "MKR": lambda w=lam, ss=s: MKR(kg_weight=w, epochs=epochs, seed=ss),
+                },
+                seed=s,
+            )
+            for r in results:
+                sums[r.model] += r["AUC"]
+        for model, total in sums.items():
+            rows.append(
+                {"lambda": lam, "model": f"{model}(l={lam})", "AUC": total / num_seeds}
+            )
+    return rows

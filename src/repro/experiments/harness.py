@@ -1,0 +1,56 @@
+"""Experiment harness: run model panels and collect comparable rows.
+
+Every comparative study reduces to the same loop — generate a dataset,
+split, fit a panel of models, evaluate on identical candidate sets — which
+:func:`run_panel` implements once.  Studies in
+:mod:`repro.experiments.comparative` build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.dataset import Dataset
+from repro.core.recommender import Recommender
+from repro.core.splitter import random_split
+from repro.eval.evaluator import EvalResult, Evaluator
+
+from .tables import render_table
+
+__all__ = ["run_panel", "results_table", "PanelResult"]
+
+
+PanelResult = list[EvalResult]
+
+
+def run_panel(
+    dataset: Dataset,
+    model_factories: dict[str, Callable[[], Recommender]],
+    test_fraction: float = 0.2,
+    k_values: tuple[int, ...] = (5, 10),
+    max_users: int | None = 50,
+    seed: int = 0,
+) -> PanelResult:
+    """Split ``dataset`` and evaluate every model on the identical split."""
+    train, test = random_split(dataset, test_fraction=test_fraction, seed=seed)
+    evaluator = Evaluator(
+        train, test, k_values=k_values, max_users=max_users, seed=seed
+    )
+    results: PanelResult = []
+    for name, factory in model_factories.items():
+        model = factory().fit(train)
+        results.append(evaluator.evaluate(model, name=name))
+    return results
+
+
+def results_table(
+    results: PanelResult,
+    columns: tuple[str, ...] = ("AUC", "NDCG@10", "Recall@10", "HR@10"),
+    title: str = "",
+) -> str:
+    """Render evaluation results as an aligned text table."""
+    rows = [
+        [r.model] + [f"{r.values.get(c, float('nan')):.4f}" for c in columns]
+        for r in results
+    ]
+    return render_table(["Model"] + list(columns), rows, title=title)

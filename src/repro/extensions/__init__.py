@@ -1,0 +1,16 @@
+"""Extensions implementing the survey's Section 6 future directions:
+cross-domain preference propagation, user side information, and dynamic
+(drifting-preference) recommendation."""
+
+from .cross_domain import PPGN, make_cross_domain_pair
+from .dynamic import RecencyKNN, make_dynamic_dataset, temporal_split
+from .user_side import attach_user_attributes
+
+__all__ = [
+    "PPGN",
+    "make_cross_domain_pair",
+    "attach_user_attributes",
+    "make_dynamic_dataset",
+    "temporal_split",
+    "RecencyKNN",
+]

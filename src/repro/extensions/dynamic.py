@@ -1,0 +1,169 @@
+"""Dynamic recommendation (survey §6, first future direction).
+
+The survey argues static preference models miss rapidly-changing interests
+and points to dynamic graph attention (DGRec).  This module provides the
+ingredients to study that at library scale:
+
+* :func:`make_dynamic_dataset` — a scenario whose users' latent tastes
+  *drift* across discrete time periods, with per-interaction timestamps.
+* :func:`temporal_split` — train on the past, test on the final period
+  (the only split that exposes drift).
+* :class:`RecencyKNN` — item-based CF whose user profile decays with
+  interaction age; ``decay=1`` recovers the static ItemKNN, smaller values
+  track the drifting interest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError, DataError
+from repro.core.interactions import InteractionMatrix
+from repro.core.recommender import Recommender
+from repro.core.rng import ensure_rng
+from repro.data.scenarios import MOVIE_SCHEMA
+from repro.data.synthetic import generate_dataset
+
+__all__ = ["make_dynamic_dataset", "temporal_split", "RecencyKNN"]
+
+
+def make_dynamic_dataset(
+    schema=MOVIE_SCHEMA,
+    num_users: int = 60,
+    num_items: int = 90,
+    num_factors: int = 6,
+    num_periods: int = 3,
+    interactions_per_period: int = 5,
+    drift: float = 1.0,
+    score_noise: float = 0.25,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """A dataset whose users' tastes drift over ``num_periods`` epochs.
+
+    Each user has a start and an end taste vector; period ``t`` interpolates
+    between them with weight ``drift * t / (num_periods - 1)`` (``drift=0``
+    freezes preferences; ``drift=1`` fully migrates them).  Every
+    interaction carries its period in ``extra['interaction_times']``, a
+    dense ``(m, n)`` array with ``-1`` for unobserved pairs.
+    """
+    if num_periods < 2:
+        raise ConfigError("need at least two periods for a dynamic dataset")
+    if not 0.0 <= drift <= 1.0:
+        raise ConfigError("drift must be in [0, 1]")
+    rng = ensure_rng(seed)
+
+    # One static world supplies the items and the KG.
+    base = generate_dataset(
+        schema,
+        num_users=num_users,
+        num_items=num_items,
+        num_factors=num_factors,
+        mean_interactions=interactions_per_period,
+        seed=rng,
+    )
+    item_latent = base.extra["item_latent"]
+
+    start = np.stack(
+        [rng.dirichlet(np.full(num_factors, 0.4)) for __ in range(num_users)]
+    )
+    end = np.stack(
+        [rng.dirichlet(np.full(num_factors, 0.4)) for __ in range(num_users)]
+    )
+
+    times = np.full((num_users, num_items), -1, dtype=np.int64)
+    users_list: list[int] = []
+    items_list: list[int] = []
+    for period in range(num_periods):
+        alpha = drift * period / (num_periods - 1)
+        latent = (1.0 - alpha) * start + alpha * end
+        scores = latent @ item_latent.T
+        scores += rng.normal(0.0, score_noise, scores.shape)
+        for user in range(num_users):
+            row = scores[user].copy()
+            row[times[user] >= 0] = -np.inf  # one timestamp per pair
+            k = min(interactions_per_period, int((row > -np.inf).sum()))
+            top = np.argpartition(-row, k - 1)[:k]
+            for item in top:
+                times[user, int(item)] = period
+                users_list.append(user)
+                items_list.append(int(item))
+
+    interactions = InteractionMatrix(
+        np.asarray(users_list), np.asarray(items_list), num_users, num_items
+    )
+    return Dataset(
+        name=f"dynamic-{schema.scenario}",
+        interactions=interactions,
+        kg=base.kg,
+        item_entities=base.item_entities,
+        item_text=base.item_text,
+        extra={
+            "scenario": schema.scenario,
+            "num_periods": num_periods,
+            "drift": drift,
+            "interaction_times": times,
+            "user_latent_start": start,
+            "user_latent_end": end,
+            "item_latent": item_latent,
+        },
+    )
+
+
+def temporal_split(dataset: Dataset) -> tuple[Dataset, Dataset]:
+    """Train on all periods but the last; test on the final period."""
+    times = dataset.extra.get("interaction_times")
+    if times is None:
+        raise DataError("dataset has no extra['interaction_times']")
+    last = int(times.max())
+    if last < 1:
+        raise DataError("need at least two observed periods to split")
+    train_pairs = np.argwhere((times >= 0) & (times < last))
+    test_pairs = np.argwhere(times == last)
+    make = lambda pairs: dataset.with_interactions(  # noqa: E731
+        InteractionMatrix.from_pairs(pairs, dataset.num_users, dataset.num_items)
+    )
+    return make(train_pairs), make(test_pairs)
+
+
+class RecencyKNN(Recommender):
+    """Item-based CF with an exponentially time-decayed user profile.
+
+    ``score(u) = sum_{v in history} decay^(age_v) * sim[v, :]`` where
+    ``age_v`` is how many periods before the latest training period the
+    interaction happened.  ``decay=1.0`` is the static ItemKNN profile.
+    """
+
+    def __init__(self, decay: float = 0.5, num_neighbors: int = 20) -> None:
+        super().__init__()
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError("decay must be in (0, 1]")
+        self.decay = decay
+        self.num_neighbors = num_neighbors
+        self._similarity = None
+        self._weights: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "RecencyKNN":
+        times = dataset.extra.get("interaction_times")
+        if times is None:
+            raise DataError("RecencyKNN needs extra['interaction_times']")
+        self._mark_fitted(dataset)
+        from ..models.baselines.knn import _cosine_similarity, _truncate_topk
+
+        matrix = dataset.interactions.to_csr()
+        self._similarity = _truncate_topk(
+            _cosine_similarity(matrix, 0.0), self.num_neighbors
+        )
+        # Recency weights over the *training* interactions only.
+        observed = dataset.interactions.to_dense() > 0
+        masked_times = np.where(observed, times, -1)
+        latest = masked_times.max()
+        ages = np.where(observed, latest - masked_times, 0)
+        self._weights = np.where(observed, self.decay**ages, 0.0)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        row = sparse.csr_matrix(self._weights[user_id])
+        return np.asarray((row @ self._similarity).todense()).ravel()

@@ -1,0 +1,77 @@
+"""Knowledge-graph analysis utilities.
+
+Dataset summaries, sanity checks, and the structural statistics that the
+survey's dataset section reports informally (graph size, relation mix,
+connectivity).  Used by examples and the Table 4 bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = [
+    "relation_histogram",
+    "degree_distribution",
+    "connected_components",
+    "graph_summary",
+]
+
+
+def relation_histogram(kg: KnowledgeGraph) -> dict[str, int]:
+    """Fact count per relation label."""
+    counts = np.bincount(kg.store.relations, minlength=kg.num_relations)
+    return {kg.relation_label(r): int(c) for r, c in enumerate(counts)}
+
+
+def degree_distribution(kg: KnowledgeGraph) -> dict[str, float]:
+    """Summary statistics of the (undirected) entity degree distribution."""
+    degrees = np.asarray(
+        [kg.degree(e) for e in range(kg.num_entities)], dtype=np.float64
+    )
+    return {
+        "min": float(degrees.min()),
+        "median": float(np.median(degrees)),
+        "mean": float(degrees.mean()),
+        "max": float(degrees.max()),
+        "isolated": int((degrees == 0).sum()),
+    }
+
+
+def connected_components(kg: KnowledgeGraph) -> list[np.ndarray]:
+    """Undirected connected components, largest first."""
+    seen = np.zeros(kg.num_entities, dtype=bool)
+    components: list[np.ndarray] = []
+    for start in range(kg.num_entities):
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        members = [start]
+        while queue:
+            node = queue.popleft()
+            for __, nbr in kg.neighbors(node, undirected=True):
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    members.append(nbr)
+                    queue.append(nbr)
+        components.append(np.asarray(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def graph_summary(kg: KnowledgeGraph) -> dict:
+    """One-stop structural summary (sizes, relations, degrees, components)."""
+    components = connected_components(kg)
+    return {
+        "entities": kg.num_entities,
+        "relations": kg.num_relations,
+        "triples": kg.num_triples,
+        "relation_histogram": relation_histogram(kg),
+        "degree": degree_distribution(kg),
+        "num_components": len(components),
+        "largest_component": int(len(components[0])) if components else 0,
+    }

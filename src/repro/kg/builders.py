@@ -1,0 +1,110 @@
+"""Graph construction: item graphs and user-item graphs.
+
+The survey distinguishes two ways datasets turn into KGs (Section 4.1/5):
+
+* an **item graph** — items and their attributes only (CKE, DKN, MKR, ...),
+  which the scenario generators in :mod:`repro.data` produce directly;
+* a **user-item graph** — users are added as entities and their feedback as
+  an ``interact`` relation (CFKG, KGAT, path-based methods).
+
+:func:`build_user_item_graph` performs the item-graph -> user-item-graph
+lift for any dataset with an aligned KG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import GraphError
+
+from .graph import KnowledgeGraph
+from .triples import TripleStore
+
+__all__ = ["build_user_item_graph", "ensure_user_item_graph"]
+
+
+def ensure_user_item_graph(dataset: Dataset, interact_label: str = "interacts") -> Dataset:
+    """Lift to a user-item graph, or pass through if already lifted.
+
+    Models that operate on user-item graphs call this so that datasets
+    pre-enriched with user-side information (``repro.extensions``) are not
+    lifted a second time.
+    """
+    if dataset.user_entities is not None:
+        return dataset
+    return build_user_item_graph(dataset, interact_label=interact_label)
+
+
+def build_user_item_graph(
+    dataset: Dataset, interact_label: str = "interacts"
+) -> Dataset:
+    """Lift a dataset with an item graph into one with a user-item graph.
+
+    Users are appended as new entities (with a fresh ``user`` entity type),
+    and one ``(user, interacts, item_entity)`` fact is added per *training*
+    interaction.  Returns a new :class:`Dataset` whose ``kg`` is the lifted
+    graph and whose ``user_entities`` alignment is populated.
+    """
+    if dataset.kg is None or dataset.item_entities is None:
+        raise GraphError("dataset needs an aligned item graph to lift")
+    kg = dataset.kg
+    num_users = dataset.num_users
+
+    user_entities = np.arange(
+        kg.num_entities, kg.num_entities + num_users, dtype=np.int64
+    )
+    interact_relation = kg.num_relations
+
+    pairs = dataset.interactions.pairs()
+    new_heads = user_entities[pairs[:, 0]]
+    new_tails = dataset.item_entities[pairs[:, 1]]
+    keep = new_tails >= 0  # skip unaligned items
+    triples = np.concatenate(
+        [
+            kg.triples(),
+            np.stack(
+                [new_heads[keep], np.full(keep.sum(), interact_relation), new_tails[keep]],
+                axis=1,
+            ),
+        ]
+    )
+
+    entity_labels = None
+    if kg.entity_labels is not None:
+        entity_labels = kg.entity_labels + [f"user:{u}" for u in range(num_users)]
+    relation_labels = None
+    if kg.relation_labels is not None:
+        relation_labels = kg.relation_labels + [interact_label]
+
+    entity_types = None
+    type_names = None
+    if kg.entity_types is not None:
+        user_type = int(kg.entity_types.max()) + 1
+        entity_types = np.concatenate(
+            [kg.entity_types, np.full(num_users, user_type, dtype=np.int64)]
+        )
+        if kg.type_names is not None:
+            type_names = kg.type_names + ["user"]
+
+    store = TripleStore.from_triples(
+        triples,
+        num_entities=kg.num_entities + num_users,
+        num_relations=kg.num_relations + 1,
+    )
+    lifted = KnowledgeGraph(
+        store,
+        entity_labels=entity_labels,
+        relation_labels=relation_labels,
+        entity_types=entity_types,
+        type_names=type_names,
+    )
+    return Dataset(
+        name=dataset.name + "+users",
+        interactions=dataset.interactions,
+        kg=lifted,
+        item_entities=dataset.item_entities,
+        user_entities=user_entities,
+        item_text=dataset.item_text,
+        extra={**dataset.extra, "interact_relation": interact_relation},
+    )

@@ -1,0 +1,88 @@
+"""Neighbor and negative sampling utilities for KG models.
+
+:class:`NeighborCache` precomputes per-entity undirected ``(relation,
+neighbor)`` lists and draws fixed-size receptive fields, the sampling trick
+KGCN uses to keep GNN propagation scalable.  :func:`corrupt_batch` produces
+filtered negative triples for translation-model training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.core.rng import ensure_rng
+
+from .graph import KnowledgeGraph
+from .triples import TripleStore
+
+__all__ = ["NeighborCache", "corrupt_batch"]
+
+
+class NeighborCache:
+    """Precomputed undirected adjacency with fixed-size sampling.
+
+    Entities without any neighbor sample themselves with the reserved
+    self-loop relation id ``num_relations`` (one extra embedding row is
+    allocated by models using this cache).
+    """
+
+    def __init__(self, kg: KnowledgeGraph) -> None:
+        self.kg = kg
+        self.self_relation = kg.num_relations
+        self._relations: list[np.ndarray] = []
+        self._neighbors: list[np.ndarray] = []
+        for entity in range(kg.num_entities):
+            pairs = kg.neighbors(entity, undirected=True)
+            if pairs:
+                rels = np.fromiter((r for r, __ in pairs), dtype=np.int64)
+                nbrs = np.fromiter((n for __, n in pairs), dtype=np.int64)
+            else:
+                rels = np.asarray([self.self_relation], dtype=np.int64)
+                nbrs = np.asarray([entity], dtype=np.int64)
+            self._relations.append(rels)
+            self._neighbors.append(nbrs)
+
+    def neighbors_of(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
+        """Full ``(relations, neighbors)`` arrays for ``entity``."""
+        return self._relations[entity], self._neighbors[entity]
+
+    def sample(
+        self,
+        entities: np.ndarray,
+        num_samples: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-size neighborhood per input entity.
+
+        Returns ``(relations, neighbors)`` each of shape
+        ``(len(entities), num_samples)``, sampled with replacement.
+        """
+        if num_samples < 1:
+            raise GraphError("num_samples must be >= 1")
+        rng = ensure_rng(seed)
+        entities = np.asarray(entities, dtype=np.int64).ravel()
+        rel_out = np.empty((entities.size, num_samples), dtype=np.int64)
+        nbr_out = np.empty((entities.size, num_samples), dtype=np.int64)
+        for row, entity in enumerate(entities):
+            rels, nbrs = self._relations[entity], self._neighbors[entity]
+            idx = rng.integers(0, rels.size, size=num_samples)
+            rel_out[row] = rels[idx]
+            nbr_out[row] = nbrs[idx]
+        return rel_out, nbr_out
+
+
+def corrupt_batch(
+    store: TripleStore,
+    indices: np.ndarray,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Negative ``(h, r, t)`` arrays for the facts at ``indices``."""
+    rng = ensure_rng(seed)
+    heads = np.empty(len(indices), dtype=np.int64)
+    rels = np.empty(len(indices), dtype=np.int64)
+    tails = np.empty(len(indices), dtype=np.int64)
+    for row, idx in enumerate(np.asarray(indices, dtype=np.int64)):
+        h, r, t = store.corrupt(int(idx), seed=rng)
+        heads[row], rels[row], tails[row] = h, r, t
+    return heads, rels, tails

@@ -1,0 +1,175 @@
+"""Triple storage for knowledge graphs.
+
+A KG edge is a fact ``(head entity, relation, tail entity)`` (Section 3 of
+the survey).  :class:`TripleStore` keeps all facts in three parallel integer
+arrays with hash indexes by head, tail, and relation, providing the O(1)
+neighborhood access that path enumeration, ripple sets, and GNN sampling
+all build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.core.rng import ensure_rng
+
+__all__ = ["TripleStore"]
+
+
+class TripleStore:
+    """Immutable set of ``(head, relation, tail)`` facts.
+
+    Parameters
+    ----------
+    heads, relations, tails:
+        Parallel 1-d integer arrays.  Duplicate facts are dropped.
+    num_entities, num_relations:
+        Sizes of the id spaces; ids must lie in range.
+    """
+
+    def __init__(
+        self,
+        heads: np.ndarray,
+        relations: np.ndarray,
+        tails: np.ndarray,
+        num_entities: int,
+        num_relations: int,
+    ) -> None:
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        if not (heads.shape == relations.shape == tails.shape) or heads.ndim != 1:
+            raise GraphError("heads/relations/tails must be parallel 1-d arrays")
+        if num_entities <= 0 or num_relations <= 0:
+            raise GraphError("num_entities and num_relations must be positive")
+        for name, arr, bound in (
+            ("entity", heads, num_entities),
+            ("relation", relations, num_relations),
+            ("entity", tails, num_entities),
+        ):
+            if arr.size and (arr.min() < 0 or arr.max() >= bound):
+                raise GraphError(f"{name} id out of range")
+
+        # Deduplicate facts while keeping a deterministic (sorted) order.
+        if heads.size:
+            stacked = np.stack([heads, relations, tails], axis=1)
+            stacked = np.unique(stacked, axis=0)
+            heads, relations, tails = stacked[:, 0], stacked[:, 1], stacked[:, 2]
+
+        self.heads = heads
+        self.relations = relations
+        self.tails = tails
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+
+        self._by_head = self._index(heads)
+        self._by_tail = self._index(tails)
+        self._by_relation = self._index(relations)
+        self._fact_set = {
+            (int(h), int(r), int(t)) for h, r, t in zip(heads, relations, tails)
+        }
+
+    @staticmethod
+    def _index(keys: np.ndarray) -> dict[int, np.ndarray]:
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        groups = np.split(order, boundaries)
+        uniques = sorted_keys[np.concatenate([[0], boundaries])] if keys.size else []
+        return {int(k): g for k, g in zip(uniques, groups)}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_triples(
+        cls,
+        triples: "np.ndarray | list[tuple[int, int, int]]",
+        num_entities: int,
+        num_relations: int,
+    ) -> "TripleStore":
+        """Build from an ``(n, 3)`` array or list of ``(h, r, t)`` tuples."""
+        arr = np.asarray(triples, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 3)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise GraphError("triples must have shape (n, 3)")
+        return cls(arr[:, 0], arr[:, 1], arr[:, 2], num_entities, num_relations)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_triples(self) -> int:
+        return int(self.heads.size)
+
+    def __len__(self) -> int:
+        return self.num_triples
+
+    def __contains__(self, fact: tuple[int, int, int]) -> bool:
+        return tuple(int(x) for x in fact) in self._fact_set
+
+    def triples(self) -> np.ndarray:
+        """All facts as an ``(n, 3)`` array (copy)."""
+        return np.stack([self.heads, self.relations, self.tails], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # neighborhood access
+    # ------------------------------------------------------------------ #
+    def outgoing(self, entity: int) -> np.ndarray:
+        """Indices of facts with ``head == entity``."""
+        return self._by_head.get(int(entity), np.empty(0, dtype=np.int64))
+
+    def incoming(self, entity: int) -> np.ndarray:
+        """Indices of facts with ``tail == entity``."""
+        return self._by_tail.get(int(entity), np.empty(0, dtype=np.int64))
+
+    def with_relation(self, relation: int) -> np.ndarray:
+        """Indices of facts using ``relation``."""
+        return self._by_relation.get(int(relation), np.empty(0, dtype=np.int64))
+
+    def neighbors(
+        self, entity: int, undirected: bool = True
+    ) -> list[tuple[int, int]]:
+        """``(relation, neighbor)`` pairs reachable from ``entity``.
+
+        With ``undirected=True`` incoming edges are traversed too, which is
+        how the surveyed propagation models treat the KG.
+        """
+        pairs: list[tuple[int, int]] = []
+        for idx in self.outgoing(entity):
+            pairs.append((int(self.relations[idx]), int(self.tails[idx])))
+        if undirected:
+            for idx in self.incoming(entity):
+                pairs.append((int(self.relations[idx]), int(self.heads[idx])))
+        return pairs
+
+    def degree(self, entity: int) -> int:
+        """Total (in + out) degree of ``entity``."""
+        return int(self.outgoing(entity).size + self.incoming(entity).size)
+
+    # ------------------------------------------------------------------ #
+    # negative sampling (KGE training)
+    # ------------------------------------------------------------------ #
+    def corrupt(
+        self,
+        index: int,
+        seed: int | np.random.Generator | None = None,
+        corrupt_tail_prob: float = 0.5,
+        max_tries: int = 50,
+    ) -> tuple[int, int, int]:
+        """Corrupt fact ``index`` by replacing its head or tail.
+
+        The replacement is resampled until the corrupted fact is *not* in the
+        store (or ``max_tries`` is exhausted), the standard filtered negative
+        sampling for translation models.
+        """
+        rng = ensure_rng(seed)
+        h = int(self.heads[index])
+        r = int(self.relations[index])
+        t = int(self.tails[index])
+        for _ in range(max_tries):
+            if rng.random() < corrupt_tail_prob:
+                candidate = (h, r, int(rng.integers(0, self.num_entities)))
+            else:
+                candidate = (int(rng.integers(0, self.num_entities)), r, t)
+            if candidate not in self._fact_set:
+                return candidate
+        return (h, r, (t + 1) % self.num_entities)

@@ -1,0 +1,144 @@
+"""Random walks and skip-gram embeddings (DeepWalk/metapath2vec family).
+
+HERec constrains walks to meta-paths before learning node embeddings with
+skip-gram negative sampling; entity2rec and KTGAN use property-specific or
+metapath2vec embeddings.  This module provides both pieces:
+
+* :func:`metapath_walks` — walks that repeat a meta-path's relation pattern.
+* :func:`uniform_walks` — plain uniform random walks.
+* :func:`train_sgns` — skip-gram with negative sampling over walk corpora,
+  implemented with hand-derived NumPy SGD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.core.rng import ensure_rng
+
+from .graph import KnowledgeGraph
+from .metapath import MetaPath
+
+__all__ = ["uniform_walks", "metapath_walks", "train_sgns"]
+
+
+def uniform_walks(
+    kg: KnowledgeGraph,
+    num_walks: int = 5,
+    walk_length: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> list[list[int]]:
+    """Uniform random walks from every entity (undirected traversal)."""
+    rng = ensure_rng(seed)
+    walks: list[list[int]] = []
+    for start in range(kg.num_entities):
+        for __ in range(num_walks):
+            walk = [start]
+            node = start
+            for __step in range(walk_length - 1):
+                nbrs = kg.neighbors(node, undirected=True)
+                if not nbrs:
+                    break
+                __, node = nbrs[rng.integers(0, len(nbrs))]
+                walk.append(node)
+            if len(walk) > 1:
+                walks.append(walk)
+    return walks
+
+
+def metapath_walks(
+    kg: KnowledgeGraph,
+    metapath: MetaPath,
+    num_walks: int = 5,
+    walk_length: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> list[list[int]]:
+    """Walks following a (symmetric) meta-path's relation pattern cyclically.
+
+    Starting from entities of the meta-path's first node type, each step
+    follows the next relation in the pattern to a neighbor of the declared
+    type, wrapping around when the pattern is exhausted (HERec's scheme).
+    """
+    if kg.entity_types is None:
+        raise GraphError("metapath walks require a typed graph")
+    if not metapath.is_symmetric:
+        raise GraphError("metapath walks require a symmetric meta-path")
+    rng = ensure_rng(seed)
+    pattern = list(zip(metapath.relation_types, metapath.node_types[1:]))
+    starts = np.flatnonzero(kg.entity_types == metapath.node_types[0])
+    walks: list[list[int]] = []
+    for start in starts:
+        for __ in range(num_walks):
+            walk = [int(start)]
+            node = int(start)
+            step = 0
+            for __hop in range(walk_length - 1):
+                want_rel, want_type = pattern[step % len(pattern)]
+                candidates = [
+                    nbr
+                    for rel, nbr in kg.neighbors(node, undirected=True)
+                    if rel == want_rel and kg.entity_types[nbr] == want_type
+                ]
+                if not candidates:
+                    break
+                node = int(candidates[rng.integers(0, len(candidates))])
+                walk.append(node)
+                step += 1
+            if len(walk) > 1:
+                walks.append(walk)
+    return walks
+
+
+def train_sgns(
+    walks: list[list[int]],
+    num_nodes: int,
+    dim: int = 16,
+    window: int = 2,
+    num_negatives: int = 3,
+    epochs: int = 2,
+    lr: float = 0.025,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Skip-gram with negative sampling over a walk corpus.
+
+    Returns the ``(num_nodes, dim)`` input-embedding matrix.  Negative
+    targets are drawn from the corpus unigram distribution raised to 3/4,
+    the word2vec heuristic.
+    """
+    if not walks:
+        raise GraphError("empty walk corpus")
+    rng = ensure_rng(seed)
+    emb_in = rng.normal(0.0, 0.5 / np.sqrt(dim), (num_nodes, dim))
+    emb_out = np.zeros((num_nodes, dim))
+
+    counts = np.zeros(num_nodes)
+    for walk in walks:
+        for node in walk:
+            counts[node] += 1
+    noise = counts**0.75
+    noise /= noise.sum()
+
+    for __ in range(epochs):
+        for walk in walks:
+            for center_pos, center in enumerate(walk):
+                lo = max(0, center_pos - window)
+                hi = min(len(walk), center_pos + window + 1)
+                for ctx_pos in range(lo, hi):
+                    if ctx_pos == center_pos:
+                        continue
+                    context = walk[ctx_pos]
+                    targets = [context] + list(
+                        rng.choice(num_nodes, size=num_negatives, p=noise)
+                    )
+                    labels = [1.0] + [0.0] * num_negatives
+                    v = emb_in[center]
+                    grad_center = np.zeros(dim)
+                    for target, label in zip(targets, labels):
+                        w = emb_out[target]
+                        score = 1.0 / (1.0 + np.exp(-v @ w))
+                        err = score - label
+                        grad_center += err * w
+                        emb_out[target] -= lr * err * v
+                    emb_in[center] -= lr * grad_center
+    return emb_in

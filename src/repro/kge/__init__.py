@@ -1,0 +1,28 @@
+"""Knowledge graph embedding: translation-distance and semantic matching."""
+
+from .base import KGEModel
+from .semantic import ComplEx, DistMult, RotatE
+from .translational import TransD, TransE, TransH, TransR
+
+#: Name -> class map used by benches and by models that take a KGE choice.
+KGE_MODELS: dict[str, type[KGEModel]] = {
+    "TransE": TransE,
+    "TransH": TransH,
+    "TransR": TransR,
+    "TransD": TransD,
+    "DistMult": DistMult,
+    "ComplEx": ComplEx,
+    "RotatE": RotatE,
+}
+
+__all__ = [
+    "KGEModel",
+    "TransE",
+    "TransH",
+    "TransR",
+    "TransD",
+    "DistMult",
+    "ComplEx",
+    "RotatE",
+    "KGE_MODELS",
+]

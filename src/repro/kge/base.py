@@ -1,0 +1,149 @@
+"""Shared training machinery for knowledge graph embedding models.
+
+The survey (Section 4.1) divides KGE into *translation distance* models
+(TransE/H/R/D) trained with a margin ranking loss over corrupted triples,
+and *semantic matching* models (DistMult, ComplEx) trained with a logistic
+loss.  :class:`KGEModel` implements both regimes; subclasses only define
+embeddings and a differentiable triple score.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.autograd import Adam, losses, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.exceptions import ConfigError, NotFittedError
+from repro.core.rng import ensure_rng
+from repro.kg.sampling import corrupt_batch
+from repro.kg.triples import TripleStore
+
+__all__ = ["KGEModel"]
+
+
+class KGEModel(nn.Module, abc.ABC):
+    """Base class for KGE models.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Id-space sizes of the graph to embed.
+    dim:
+        Embedding dimensionality ``d``.
+    seed:
+        Seed for parameter initialization and training randomness.
+    """
+
+    #: "margin" (translation distance) or "logistic" (semantic matching).
+    loss_type: str = "margin"
+    #: Renormalize entity rows to unit norm after each step (TransE-style).
+    normalize_entities: bool = False
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 16, seed=None) -> None:
+        if dim < 1:
+            raise ConfigError("embedding dim must be >= 1")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self._rng = ensure_rng(seed)
+        self.entity = nn.Embedding(num_entities, dim, seed=self._rng)
+        self.relation = nn.Embedding(num_relations, dim, seed=self._rng)
+        self._fitted = False
+        self._build(self._rng)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        """Hook for subclasses that need extra parameters."""
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        """Differentiable plausibility of triples; higher = more plausible.
+
+        Translation models return the *negated* (squared) distance so the
+        same convention works for ranking and for the logistic loss.
+        """
+
+    # ------------------------------------------------------------------ #
+    def score_triples(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        """NumPy plausibility scores (no gradient tracking)."""
+        return self.score(
+            np.asarray(heads, dtype=np.int64),
+            np.asarray(relations, dtype=np.int64),
+            np.asarray(tails, dtype=np.int64),
+        ).numpy()
+
+    def entity_embeddings(self) -> np.ndarray:
+        """The learned entity matrix ``(num_entities, dim)`` (no copy)."""
+        return self.entity.weight.data
+
+    def relation_embeddings(self) -> np.ndarray:
+        return self.relation.weight.data
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        store: TripleStore,
+        epochs: int = 30,
+        batch_size: int = 256,
+        lr: float = 0.02,
+        margin: float = 1.0,
+        weight_decay: float = 1e-5,
+        seed=None,
+    ) -> list[float]:
+        """Train on all facts in ``store``; returns per-epoch mean loss."""
+        if store.num_triples == 0:
+            raise ConfigError("cannot fit a KGE model on an empty triple store")
+        rng = ensure_rng(seed if seed is not None else self._rng)
+        optimizer = Adam(self.parameters(), lr=lr, weight_decay=weight_decay)
+        history: list[float] = []
+        n = store.num_triples
+        for __ in range(epochs):
+            perm = rng.permutation(n)
+            total = 0.0
+            for start in range(0, n, batch_size):
+                idx = perm[start : start + batch_size]
+                loss = self._batch_loss(store, idx, rng, margin)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                if self.normalize_entities:
+                    self._renormalize()
+                total += loss.item() * idx.size
+            history.append(total / n)
+        self._fitted = True
+        return history
+
+    def _batch_loss(
+        self,
+        store: TripleStore,
+        idx: np.ndarray,
+        rng: np.random.Generator,
+        margin: float,
+    ) -> Tensor:
+        pos_h, pos_r, pos_t = store.heads[idx], store.relations[idx], store.tails[idx]
+        neg_h, neg_r, neg_t = corrupt_batch(store, idx, rng)
+        pos = self.score(pos_h, pos_r, pos_t)
+        neg = self.score(neg_h, neg_r, neg_t)
+        if self.loss_type == "margin":
+            # score = -distance, so the hinge is margin + d(pos) - d(neg)
+            return losses.margin_ranking_loss(-pos, -neg, margin=margin)
+        if self.loss_type == "logistic":
+            return (ops.softplus(-pos) + ops.softplus(neg)).mean()
+        raise ConfigError(f"unknown loss_type {self.loss_type!r}")
+
+    def _renormalize(self) -> None:
+        w = self.entity.weight.data
+        norms = np.linalg.norm(w, axis=1, keepdims=True)
+        np.divide(w, np.maximum(norms, 1.0), out=w)
+
+    def require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")

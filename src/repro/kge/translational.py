@@ -1,0 +1,130 @@
+"""Translation-distance KGE models: TransE, TransH, TransR, TransD.
+
+All four model a fact ``(h, r, t)`` as a translation ``h + r ~ t`` in (a
+projection of) the embedding space, differing only in how entities are
+projected per relation:
+
+* **TransE** — no projection; one space for everything.
+* **TransH** — projection onto a relation-specific hyperplane.
+* **TransR** — a full relation-specific linear map.
+* **TransD** — a dynamic rank-one map built from entity and relation
+  projection vectors.
+
+Scores are negated squared L2 distances, so "higher is more plausible"
+holds uniformly across the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+
+from .base import KGEModel
+
+__all__ = ["TransE", "TransH", "TransR", "TransD"]
+
+
+def _neg_sq_distance(delta: Tensor) -> Tensor:
+    """``-(||delta||_2)^2`` row-wise for a (batch, dim) tensor."""
+    return -(delta * delta).sum(axis=1)
+
+
+class TransE(KGEModel):
+    """TransE: ``score = -||h + r - t||^2`` with unit-norm entities."""
+
+    loss_type = "margin"
+    normalize_entities = True
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity(heads)
+        r = self.relation(relations)
+        t = self.entity(tails)
+        return _neg_sq_distance(h + r - t)
+
+
+class TransH(KGEModel):
+    """TransH: translate on a relation-specific hyperplane.
+
+    Each relation owns a (normalized) hyperplane normal ``w_r``; entities
+    are projected as ``e - (w_r . e) w_r`` before the TransE score.
+    """
+
+    loss_type = "margin"
+    normalize_entities = True
+
+    def _build(self, rng) -> None:
+        self.normal = nn.Embedding(self.num_relations, self.dim, seed=rng)
+
+    def _project(self, e: Tensor, w: Tensor) -> Tensor:
+        inner = (e * w).sum(axis=1, keepdims=True)
+        return e - inner * w
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity(heads)
+        r = self.relation(relations)
+        t = self.entity(tails)
+        w_raw = self.normal(relations)
+        norm = ((w_raw * w_raw).sum(axis=1, keepdims=True) + 1e-12) ** 0.5
+        w = w_raw / norm
+        return _neg_sq_distance(self._project(h, w) + r - self._project(t, w))
+
+
+class TransR(KGEModel):
+    """TransR: a full projection matrix ``M_r`` per relation.
+
+    Entities live in an entity space and are mapped to each relation's own
+    space: ``score = -||h M_r + r - t M_r||^2``.  This is the KGE module
+    used by CKE and for initialization by KGAT/AKUPM in the survey.
+    """
+
+    loss_type = "margin"
+    normalize_entities = True
+
+    def _build(self, rng) -> None:
+        # One (dim x dim) map per relation, initialized near identity so
+        # early training behaves like TransE.
+        eye = np.eye(self.dim)
+        noise = rng.normal(0.0, 0.05, size=(self.num_relations, self.dim, self.dim))
+        self.projection = nn.Parameter(eye[None, :, :] + noise)
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity(heads)
+        r = self.relation(relations)
+        t = self.entity(tails)
+        m = self.projection[np.asarray(relations, dtype=np.int64)]
+        # Batched vector-matrix products via matmul broadcasting.
+        h_proj = (h.reshape(h.shape[0], 1, self.dim) @ m).reshape(h.shape)
+        t_proj = (t.reshape(t.shape[0], 1, self.dim) @ m).reshape(t.shape)
+        return _neg_sq_distance(h_proj + r - t_proj)
+
+
+class TransD(KGEModel):
+    """TransD: dynamic rank-one projections from entity/relation vectors.
+
+    With projection vectors ``h_p`` (per entity) and ``r_p`` (per relation),
+    the head is mapped as ``h + (h_p . h) r_p`` (equal entity/relation dims),
+    the efficient formulation of the original mapping matrix
+    ``M = r_p h_p^T + I``.  Used by DKN for news entity embeddings.
+    """
+
+    loss_type = "margin"
+    normalize_entities = True
+
+    def _build(self, rng) -> None:
+        self.entity_proj = nn.Embedding(self.num_entities, self.dim, seed=rng)
+        self.relation_proj = nn.Embedding(self.num_relations, self.dim, seed=rng)
+
+    def _map(self, e: Tensor, e_p: Tensor, r_p: Tensor) -> Tensor:
+        inner = (e_p * e).sum(axis=1, keepdims=True)
+        return e + inner * r_p
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity(heads)
+        t = self.entity(tails)
+        r = self.relation(relations)
+        h_p = self.entity_proj(heads)
+        t_p = self.entity_proj(tails)
+        r_p = self.relation_proj(relations)
+        return _neg_sq_distance(self._map(h, h_p, r_p) + r - self._map(t, t_p, r_p))

@@ -1,0 +1,16 @@
+"""Recommender models: baselines plus the survey's three KG-method families.
+
+Importing this package registers every implementation in the model
+registry, which is how Table 3 regeneration discovers what is implemented.
+"""
+
+from . import baselines, embedding_based, path_based, unified
+from .common import GradientRecommender
+
+__all__ = [
+    "baselines",
+    "embedding_based",
+    "path_based",
+    "unified",
+    "GradientRecommender",
+]

@@ -1,0 +1,20 @@
+"""Classic CF baselines: popularity, neighborhoods, latent factors, FM."""
+
+from .bpr import BPRMF
+from .fm import FactorizationMachine, FMCore
+from .knn import ItemKNN, UserKNN
+from .mf import NMF, FunkSVD, nmf_factorize
+from .nonpersonalized import MostPopular, Random
+
+__all__ = [
+    "Random",
+    "MostPopular",
+    "ItemKNN",
+    "UserKNN",
+    "FunkSVD",
+    "NMF",
+    "nmf_factorize",
+    "BPRMF",
+    "FactorizationMachine",
+    "FMCore",
+]

@@ -1,0 +1,105 @@
+"""Memory-based collaborative filtering (Section 2.2).
+
+* :class:`ItemKNN` — "recommend similar items for a user based on the
+  user's purchase history": cosine similarity between item interaction
+  columns, optionally truncated to the top-k neighbors per item.
+* :class:`UserKNN` — "recommend unobserved items based on the interaction
+  records of people similar to the specific user".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError
+from repro.core.recommender import Recommender
+from repro.core.registry import ModelCard, Usage, register_model
+
+__all__ = ["ItemKNN", "UserKNN"]
+
+
+def _cosine_similarity(matrix: sparse.csr_matrix, shrinkage: float) -> sparse.csr_matrix:
+    """Column-cosine similarity with optional shrinkage, zero diagonal."""
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=0)).ravel())
+    inv = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    normalized = matrix @ sparse.diags(inv)
+    sim = (normalized.T @ normalized).tocsr()
+    if shrinkage > 0:
+        sim.data = sim.data / (1.0 + shrinkage / np.abs(sim.data))
+    sim.setdiag(0.0)
+    sim.eliminate_zeros()
+    return sim
+
+
+def _truncate_topk(sim: sparse.csr_matrix, k: int) -> sparse.csr_matrix:
+    """Keep only each row's top-k strongest similarities."""
+    sim = sim.tolil()
+    for row in range(sim.shape[0]):
+        data = np.asarray(sim.data[row])
+        if data.size > k:
+            keep = np.argpartition(-data, k - 1)[:k]
+            cols = [sim.rows[row][i] for i in keep]
+            vals = [sim.data[row][i] for i in keep]
+            sim.rows[row] = cols
+            sim.data[row] = vals
+    return sim.tocsr()
+
+
+@register_model(
+    "ItemKNN", ModelCard("ItemKNN", "-", 0, Usage.BASELINE, frozenset())
+)
+class ItemKNN(Recommender):
+    """Item-based neighborhood CF with cosine similarity."""
+
+    def __init__(self, num_neighbors: int = 20, shrinkage: float = 0.0) -> None:
+        super().__init__()
+        if num_neighbors < 1:
+            raise ConfigError("num_neighbors must be >= 1")
+        self.num_neighbors = num_neighbors
+        self.shrinkage = shrinkage
+        self._similarity: sparse.csr_matrix | None = None
+        self._train: sparse.csr_matrix | None = None
+
+    def fit(self, dataset: Dataset) -> "ItemKNN":
+        matrix = dataset.interactions.to_csr()
+        sim = _cosine_similarity(matrix, self.shrinkage)
+        self._similarity = _truncate_topk(sim, self.num_neighbors)
+        self._train = matrix
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        row = self._train.getrow(user_id)
+        return np.asarray((row @ self._similarity).todense()).ravel()
+
+
+@register_model(
+    "UserKNN", ModelCard("UserKNN", "-", 0, Usage.BASELINE, frozenset())
+)
+class UserKNN(Recommender):
+    """User-based neighborhood CF with cosine similarity."""
+
+    def __init__(self, num_neighbors: int = 20, shrinkage: float = 0.0) -> None:
+        super().__init__()
+        if num_neighbors < 1:
+            raise ConfigError("num_neighbors must be >= 1")
+        self.num_neighbors = num_neighbors
+        self.shrinkage = shrinkage
+        self._similarity: sparse.csr_matrix | None = None
+        self._train: sparse.csr_matrix | None = None
+
+    def fit(self, dataset: Dataset) -> "UserKNN":
+        matrix = dataset.interactions.to_csr()
+        sim = _cosine_similarity(matrix.T.tocsr(), self.shrinkage)
+        self._similarity = _truncate_topk(sim, self.num_neighbors)
+        self._train = matrix
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        weights = self._similarity.getrow(user_id)
+        return np.asarray((weights @ self._train).todense()).ravel()

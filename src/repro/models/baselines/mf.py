@@ -1,0 +1,147 @@
+"""Latent factor models (model-based CF, Section 2.2).
+
+* :class:`FunkSVD` — pointwise matrix factorization trained by SGD on
+  observed positives and sampled negatives (implicit feedback variant of
+  the classic rating model).
+* :class:`NMF` — non-negative matrix factorization via multiplicative
+  updates, the technique HeteRec applies per meta-path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError, DataError
+from repro.core.recommender import Recommender
+from repro.core.registry import ModelCard, Usage, register_model
+from repro.core.rng import ensure_rng
+
+__all__ = ["FunkSVD", "NMF", "nmf_factorize"]
+
+
+@register_model(
+    "FunkSVD", ModelCard("FunkSVD", "-", 0, Usage.BASELINE, frozenset({"MF"}))
+)
+class FunkSVD(Recommender):
+    """SGD matrix factorization with biases, pointwise squared loss."""
+
+    def __init__(
+        self,
+        dim: int = 16,
+        epochs: int = 30,
+        lr: float = 0.05,
+        reg: float = 0.02,
+        negatives_per_positive: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        self.dim = dim
+        self.epochs = epochs
+        self.lr = lr
+        self.reg = reg
+        self.negatives_per_positive = negatives_per_positive
+        self.seed = seed
+        self.user_factors: np.ndarray | None = None
+        self.item_factors: np.ndarray | None = None
+        self.user_bias: np.ndarray | None = None
+        self.item_bias: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "FunkSVD":
+        rng = ensure_rng(self.seed)
+        m, n = dataset.num_users, dataset.num_items
+        self.user_factors = rng.normal(0.0, 0.1, (m, self.dim))
+        self.item_factors = rng.normal(0.0, 0.1, (n, self.dim))
+        self.user_bias = np.zeros(m)
+        self.item_bias = np.zeros(n)
+
+        pairs = dataset.interactions.pairs()
+        if pairs.shape[0] == 0:
+            raise DataError("cannot fit FunkSVD on empty interactions")
+        for __ in range(self.epochs):
+            users = pairs[:, 0]
+            items = pairs[:, 1]
+            labels = np.ones(pairs.shape[0])
+            if self.negatives_per_positive > 0:
+                k = self.negatives_per_positive
+                neg_users = np.repeat(users, k)
+                neg_items = rng.integers(0, n, size=neg_users.size)
+                users = np.concatenate([users, neg_users])
+                items = np.concatenate([items, neg_items])
+                labels = np.concatenate([labels, np.zeros(neg_users.size)])
+            order = rng.permutation(users.size)
+            for idx in order:
+                u, v, y = int(users[idx]), int(items[idx]), labels[idx]
+                pu, qv = self.user_factors[u], self.item_factors[v]
+                pred = self.user_bias[u] + self.item_bias[v] + pu @ qv
+                err = y - pred
+                self.user_bias[u] += self.lr * (err - self.reg * self.user_bias[u])
+                self.item_bias[v] += self.lr * (err - self.reg * self.item_bias[v])
+                pu_new = pu + self.lr * (err * qv - self.reg * pu)
+                qv_new = qv + self.lr * (err * pu - self.reg * qv)
+                self.user_factors[u] = pu_new
+                self.item_factors[v] = qv_new
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        return (
+            self.user_bias[user_id]
+            + self.item_bias
+            + self.item_factors @ self.user_factors[user_id]
+        )
+
+
+def nmf_factorize(
+    matrix: np.ndarray,
+    dim: int,
+    iterations: int = 120,
+    seed: int | np.random.Generator | None = 0,
+    eps: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multiplicative-update NMF: ``matrix ~ W @ H`` with ``W, H >= 0``.
+
+    Shared by the :class:`NMF` baseline and HeteRec's per-meta-path
+    factorization of diffused preference matrices.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if (matrix < 0).any():
+        raise DataError("NMF requires a non-negative matrix")
+    rng = ensure_rng(seed)
+    m, n = matrix.shape
+    w = rng.random((m, dim)) + 0.01
+    h = rng.random((dim, n)) + 0.01
+    for __ in range(iterations):
+        h *= (w.T @ matrix) / (w.T @ w @ h + eps)
+        w *= (matrix @ h.T) / (w @ h @ h.T + eps)
+    return w, h
+
+
+@register_model("NMF", ModelCard("NMF", "-", 0, Usage.BASELINE, frozenset({"MF"})))
+class NMF(Recommender):
+    """Non-negative MF of the binary feedback matrix."""
+
+    def __init__(self, dim: int = 16, iterations: int = 120, seed: int | None = 0) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        self.dim = dim
+        self.iterations = iterations
+        self.seed = seed
+        self.user_factors: np.ndarray | None = None
+        self.item_factors: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "NMF":
+        dense = dataset.interactions.to_dense()
+        w, h = nmf_factorize(dense, self.dim, self.iterations, self.seed)
+        self.user_factors = w
+        self.item_factors = h.T
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        return self.item_factors @ self.user_factors[user_id]

@@ -1,0 +1,59 @@
+"""Non-personalized baselines: random and popularity ranking.
+
+These anchor every comparative study: a KG-aware method that cannot beat
+``MostPopular`` on a dense dataset has learned nothing, and ``Random``
+calibrates the floor of every metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.recommender import Recommender
+from repro.core.registry import ModelCard, Usage, register_model
+from repro.core.rng import ensure_rng
+
+__all__ = ["Random", "MostPopular"]
+
+
+@register_model(
+    "Random", ModelCard("Random", "-", 0, Usage.BASELINE, frozenset())
+)
+class Random(Recommender):
+    """Uniformly random scores (per-user deterministic given the seed)."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._scores: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "Random":
+        rng = ensure_rng(self._seed)
+        self._scores = rng.random((dataset.num_users, dataset.num_items))
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset  # raises if unfitted
+        return self._scores[user_id]
+
+
+@register_model(
+    "MostPopular", ModelCard("MostPopular", "-", 0, Usage.BASELINE, frozenset())
+)
+class MostPopular(Recommender):
+    """Rank items by global training interaction count."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._popularity: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "MostPopular":
+        self._popularity = dataset.interactions.item_degrees().astype(np.float64)
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        return self._popularity

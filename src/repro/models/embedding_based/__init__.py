@@ -1,0 +1,34 @@
+"""Embedding-based methods (survey Section 4.1): KGE-enriched item/user
+representations, user-item graph translation, and multi-task variants."""
+
+from .bem import BEM
+from .cfkg import CFKG
+from .cke import CKE
+from .dkfm import DKFM
+from .ecfkg import ECFKG
+from .entity2rec import Entity2Rec
+from .dkn import DKN
+from .ksr import KSR
+from .ktgan import KTGAN
+from .ktup import KTUP
+from .mkr import MKR
+from .rcf import RCF
+from .sed import SED
+from .shine import SHINE
+
+__all__ = [
+    "CKE",
+    "BEM",
+    "ECFKG",
+    "Entity2Rec",
+    "CFKG",
+    "DKN",
+    "KSR",
+    "MKR",
+    "KTUP",
+    "RCF",
+    "SHINE",
+    "KTGAN",
+    "DKFM",
+    "SED",
+]

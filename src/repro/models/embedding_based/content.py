@@ -1,0 +1,52 @@
+"""Content encoders shared by embedding-based models.
+
+CKE feeds textual/visual item knowledge through (stacked denoising)
+autoencoders; DKN uses a Kim-CNN text channel.  :func:`train_autoencoder`
+provides the former: a linear autoencoder trained with MSE whose code layer
+becomes the item's content embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Adam, losses, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.exceptions import ConfigError
+from repro.core.rng import ensure_rng
+
+__all__ = ["train_autoencoder"]
+
+
+def train_autoencoder(
+    features: np.ndarray,
+    code_dim: int,
+    epochs: int = 40,
+    lr: float = 0.01,
+    noise_std: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Encode feature rows with a denoising linear autoencoder.
+
+    Returns the ``(n, code_dim)`` code matrix.  Inputs are corrupted with
+    Gaussian noise during training (the "denoising" in SDAE) and the tanh
+    code layer keeps the embedding bounded.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ConfigError("features must be a 2-d matrix")
+    rng = ensure_rng(seed)
+    n, t = features.shape
+    encoder = nn.Linear(t, code_dim, seed=rng)
+    decoder = nn.Linear(code_dim, t, seed=rng)
+    params = encoder.parameters() + decoder.parameters()
+    optimizer = Adam(params, lr=lr)
+    for __ in range(epochs):
+        noisy = features + rng.normal(0.0, noise_std, features.shape)
+        code = ops.tanh(encoder(Tensor(noisy)))
+        recon = decoder(code)
+        loss = losses.mse_loss(recon, features)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return ops.tanh(encoder(Tensor(features))).numpy()

@@ -1,0 +1,113 @@
+"""KTUP — joint recommendation and KG completion (Cao et al., WWW 2019).
+
+Two coupled translation tasks (survey Eq. 9-11): the TUP recommendation
+module translates a user to an item through an induced *preference* vector
+``p`` (``u + p ~ v``), while a TransH module completes the KG.  Items are
+aligned with entities by sharing the entity embedding plus an item-specific
+offset, the bridge through which knowledge transfers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import losses, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.dataset import Dataset
+from repro.core.registry import register_model
+from repro.kg.sampling import corrupt_batch
+
+from ..common import GradientRecommender
+
+__all__ = ["KTUP"]
+
+
+@register_model("KTUP")
+class KTUP(GradientRecommender):
+    """Translation-based user preference with joint TransH KG completion."""
+
+    requires_kg = True
+
+    def __init__(
+        self,
+        dim: int = 16,
+        num_preferences: int = 4,
+        kg_weight: float = 0.5,
+        kg_batch: int = 64,
+        margin: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(dim=dim, loss="bpr", **kwargs)
+        self.num_preferences = max(1, num_preferences)
+        self.kg_weight = kg_weight
+        self.kg_batch = kg_batch
+        self.margin = margin
+
+    def _build(self, dataset: Dataset, rng: np.random.Generator) -> None:
+        kg = dataset.kg
+        self.user = nn.Embedding(dataset.num_users, self.dim, seed=rng)
+        self.item_offset = nn.Embedding(dataset.num_items, self.dim, seed=rng)
+        self.entity = nn.Embedding(kg.num_entities, self.dim, seed=rng)
+        self.relation = nn.Embedding(kg.num_relations, self.dim, seed=rng)
+        self.relation_normal = nn.Embedding(kg.num_relations, self.dim, seed=rng)
+        self.preference = nn.Embedding(self.num_preferences, self.dim, seed=rng)
+        self._item_entities = dataset.item_entities
+
+    # ------------------------------------------------------------------ #
+    def _item_latent(self, items: np.ndarray) -> Tensor:
+        """Item = aligned entity embedding + item offset (KTUP's bridge)."""
+        return self.entity(self._item_entities[items]) + self.item_offset(items)
+
+    def _induced_preference(self, u: Tensor, v: Tensor) -> Tensor:
+        """Soft attention over the preference set given the (u, v) pair.
+
+        Preference k is favored when ``u + p_k - v`` is small; the induced
+        vector is the softmax-weighted combination (soft version of TUP's
+        straight-through selection).
+        """
+        batch = u.shape[0]
+        p = self.preference.weight  # (P, d)
+        diff = (
+            u.reshape(batch, 1, self.dim)
+            + p.reshape(1, self.num_preferences, self.dim)
+            - v.reshape(batch, 1, self.dim)
+        )
+        logits = -(diff * diff).sum(axis=2)  # (B, P)
+        weights = ops.softmax(logits, axis=1)
+        return weights @ p  # (B, d)
+
+    def _score_batch(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        u = self.user(users)
+        v = self._item_latent(items)
+        p = self._induced_preference(u, v)
+        # TransH-style projection onto the preference hyperplane.
+        norm = p / (((p * p).sum(axis=1, keepdims=True) + 1e-12) ** 0.5)
+        u_proj = u - (u * norm).sum(axis=1, keepdims=True) * norm
+        v_proj = v - (v * norm).sum(axis=1, keepdims=True) * norm
+        delta = u_proj + p - v_proj
+        return -(delta * delta).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    def _transh_score(self, heads, relations, tails) -> Tensor:
+        h = self.entity(heads)
+        t = self.entity(tails)
+        r = self.relation(relations)
+        w_raw = self.relation_normal(relations)
+        w = w_raw / (((w_raw * w_raw).sum(axis=1, keepdims=True) + 1e-12) ** 0.5)
+        h_p = h - (h * w).sum(axis=1, keepdims=True) * w
+        t_p = t - (t * w).sum(axis=1, keepdims=True) * w
+        delta = h_p + r - t_p
+        return -(delta * delta).sum(axis=1)
+
+    def _extra_loss(self, rng: np.random.Generator, batch_size: int) -> Tensor | None:
+        if self.kg_weight <= 0:
+            return None
+        kg = self.fitted_dataset.kg
+        idx = rng.integers(0, kg.num_triples, size=min(self.kg_batch, kg.num_triples))
+        nh, nr, nt = corrupt_batch(kg.store, idx, rng)
+        pos = self._transh_score(
+            kg.store.heads[idx], kg.store.relations[idx], kg.store.tails[idx]
+        )
+        neg = self._transh_score(nh, nr, nt)
+        hinge = losses.margin_ranking_loss(-pos, -neg, margin=self.margin)
+        return hinge * self.kg_weight

@@ -1,0 +1,33 @@
+"""Path-based methods (survey Section 4.2): meta-path regularization and
+diffusion, meta-graphs, explicit path encoding, rules, and RL reasoning."""
+
+from .fmg import FMG
+from .herec import HERec
+from .hete import HeteCF, HeteMF
+from .heterec import HeteRec, HeteRecP, kmeans
+from .kprn import EIUM, KPRN
+from .mcrec import MCRec
+from .pgpr import Ekar, PGPR
+from .proppr import ProPPR
+from .rkge import RKGE
+from .rulerec import RuleRec
+from .semrec import SemRec
+
+__all__ = [
+    "HeteMF",
+    "HeteCF",
+    "HeteRec",
+    "HeteRecP",
+    "kmeans",
+    "SemRec",
+    "ProPPR",
+    "FMG",
+    "MCRec",
+    "RKGE",
+    "HERec",
+    "KPRN",
+    "EIUM",
+    "RuleRec",
+    "PGPR",
+    "Ekar",
+]

@@ -1,0 +1,117 @@
+"""Shared machinery for path-based (HIN) recommenders.
+
+All path-based models work on the lifted user-item graph.  This module
+standardizes: lifting, automatic selection of symmetric item-item and
+user-user meta-paths from the network schema (the step the traditional
+methods delegate to domain experts), and extraction of item/user similarity
+blocks from entity-indexed PathSim matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import GraphError
+from repro.kg.builders import ensure_user_item_graph
+from repro.kg.hin import NetworkSchema
+from repro.kg.metapath import MetaPath, pathcount_similarity, pathsim_matrix
+
+__all__ = [
+    "lift",
+    "item_metapaths",
+    "user_metapaths",
+    "user_item_metapaths",
+    "item_similarity",
+    "user_similarity",
+    "sample_similar_pairs",
+]
+
+#: By generator convention, items are entity type 0 in every scenario.
+ITEM_TYPE = 0
+
+
+def lift(dataset: Dataset) -> Dataset:
+    """Lift to a user-item graph (no-op if already lifted)."""
+    return ensure_user_item_graph(dataset)
+
+
+def _user_type(lifted: Dataset) -> int:
+    kg = lifted.kg
+    return kg.type_of(int(lifted.user_entities[0]))
+
+
+def item_metapaths(lifted: Dataset, max_paths: int = 4) -> list[MetaPath]:
+    """Symmetric item-item meta-paths (item -attr-> x -attr-> item)."""
+    schema = NetworkSchema(lifted.kg)
+    user_type = _user_type(lifted)
+    paths = schema.enumerate_metapaths(ITEM_TYPE, ITEM_TYPE, max_length=2)
+    # Drop paths through the user type: those encode CF, not KG structure.
+    kept = [
+        p
+        for p in paths
+        if p.length == 2 and user_type not in p.node_types[1:-1]
+    ]
+    return kept[:max_paths]
+
+
+def user_metapaths(lifted: Dataset, max_paths: int = 3) -> list[MetaPath]:
+    """Symmetric user-user meta-paths (U-I-U and U-I-attr-I-U styles)."""
+    schema = NetworkSchema(lifted.kg)
+    user_type = _user_type(lifted)
+    short = schema.enumerate_metapaths(user_type, user_type, max_length=2)
+    long = schema.enumerate_metapaths(user_type, user_type, max_length=4)
+    paths = [p for p in short if p.length == 2]
+    paths += [p for p in long if p.length == 4][: max_paths - len(paths)]
+    return paths[:max_paths]
+
+
+def user_item_metapaths(lifted: Dataset, max_paths: int = 4) -> list[MetaPath]:
+    """User-to-item meta-paths of length 3 (U-I-x-I patterns)."""
+    schema = NetworkSchema(lifted.kg)
+    user_type = _user_type(lifted)
+    paths = schema.enumerate_metapaths(user_type, ITEM_TYPE, max_length=3)
+    return [p for p in paths if p.length == 3][:max_paths]
+
+
+def item_similarity(
+    lifted: Dataset, metapath: MetaPath, kind: str = "pathsim"
+) -> np.ndarray:
+    """Dense ``(n_items, n_items)`` similarity block for an item meta-path.
+
+    Item entities occupy ids ``0..n_items-1`` by generator convention, so
+    the block is the leading square of the entity-indexed matrix.
+    """
+    n = lifted.num_items
+    if not np.array_equal(lifted.item_entities, np.arange(n)):
+        raise GraphError("item similarity assumes items are entities 0..n-1")
+    if kind == "pathsim":
+        full = pathsim_matrix(lifted.kg, metapath)
+    elif kind == "pathcount":
+        full = pathcount_similarity(lifted.kg, metapath)
+    else:
+        raise GraphError("kind must be 'pathsim' or 'pathcount'")
+    return np.asarray(full[:n, :n].todense(), dtype=np.float64)
+
+
+def user_similarity(lifted: Dataset, metapath: MetaPath) -> np.ndarray:
+    """Dense ``(m, m)`` PathSim block for a user meta-path."""
+    users = lifted.user_entities
+    full = pathsim_matrix(lifted.kg, metapath)
+    return np.asarray(full[users][:, users].todense(), dtype=np.float64)
+
+
+def sample_similar_pairs(
+    similarity: np.ndarray,
+    size: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``(i, j, s_ij)`` among pairs with positive similarity."""
+    rows, cols = np.nonzero(similarity)
+    off_diag = rows != cols
+    rows, cols = rows[off_diag], cols[off_diag]
+    if rows.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    idx = rng.integers(0, rows.size, size=min(size, rows.size))
+    return rows[idx], cols[idx], similarity[rows[idx], cols[idx]]

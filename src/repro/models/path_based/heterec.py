@@ -1,0 +1,184 @@
+"""HeteRec (Yu et al., RecSys 2013) and HeteRec-p (WSDM 2014).
+
+HeteRec enriches the feedback matrix by *diffusing* it along meta-path
+similarities (``R~^l = R S^l``, survey Eq. 16), factorizes each diffused
+matrix with NMF, and learns per-path weights ``theta_l`` to combine the
+per-path preference scores (Eq. 17) with a pairwise ranking objective.
+
+HeteRec-p personalizes the weights: users are clustered on their feedback
+rows (k-means) and each cluster gets its own theta, combined with soft
+cosine cluster membership (Eq. 18).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError
+from repro.core.recommender import Recommender
+from repro.core.registry import register_model
+from repro.core.rng import ensure_rng
+
+from ..baselines.mf import nmf_factorize
+from . import common
+
+__all__ = ["HeteRec", "HeteRecP", "kmeans"]
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    iterations: int = 25,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain k-means; returns ``(assignments, centroids)``."""
+    rng = ensure_rng(seed)
+    n = points.shape[0]
+    if k > n:
+        raise ConfigError("k cannot exceed the number of points")
+    centroids = points[rng.choice(n, size=k, replace=False)].copy()
+    assignments = np.zeros(n, dtype=np.int64)
+    for __ in range(iterations):
+        dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assignments = dists.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for c in range(k):
+            members = points[assignments == c]
+            if members.shape[0]:
+                centroids[c] = members.mean(axis=0)
+    return assignments, centroids
+
+
+@register_model("HeteRec")
+class HeteRec(Recommender):
+    """Meta-path diffusion + per-path NMF + learned global path weights."""
+
+    requires_kg = True
+
+    def __init__(
+        self,
+        dim: int = 12,
+        num_metapaths: int = 4,
+        theta_epochs: int = 30,
+        theta_lr: float = 0.1,
+        nmf_iterations: int = 80,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.num_metapaths = num_metapaths
+        self.theta_epochs = theta_epochs
+        self.theta_lr = theta_lr
+        self.nmf_iterations = nmf_iterations
+        self.seed = seed
+        self.theta: np.ndarray | None = None
+        self._path_scores: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    def _diffused_factors(self, dataset: Dataset, rng) -> list[np.ndarray]:
+        """Per-path score matrices u_l . v_l from NMF of ``R S^l``."""
+        lifted = common.lift(dataset)
+        paths = common.item_metapaths(lifted, max_paths=self.num_metapaths)
+        dense = dataset.interactions.to_dense()
+        score_matrices: list[np.ndarray] = [dense.copy()]
+        for path in paths:
+            sim = common.item_similarity(lifted, path, kind="pathcount")
+            diffused = dense @ sim
+            w, h = nmf_factorize(diffused, self.dim, self.nmf_iterations, seed=rng)
+            score_matrices.append(w @ h)
+        # Path 0 is the raw feedback matrix itself (the "direct" channel);
+        # factorize it too for a smoothed version.
+        w, h = nmf_factorize(dense, self.dim, self.nmf_iterations, seed=rng)
+        score_matrices[0] = w @ h
+        return score_matrices
+
+    def _learn_theta(
+        self, dataset: Dataset, rng, per_user: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Bayesian-ranking regression of path weights on training pairs."""
+        features = np.stack(self._path_scores, axis=0)  # (L, m, n)
+        num_paths = features.shape[0]
+        theta = np.full(num_paths, 1.0 / num_paths)
+        pairs = dataset.interactions.pairs()
+        for __ in range(self.theta_epochs):
+            idx = rng.integers(0, pairs.shape[0], size=min(1000, pairs.shape[0] * 2))
+            for row in idx:
+                u, i = int(pairs[row, 0]), int(pairs[row, 1])
+                j = int(rng.integers(0, dataset.num_items))
+                x = features[:, u, i] - features[:, u, j]
+                margin = theta @ x
+                g = 1.0 / (1.0 + np.exp(margin))
+                theta += self.theta_lr * g * x / idx.size * 50
+        return theta
+
+    def fit(self, dataset: Dataset) -> "HeteRec":
+        self._mark_fitted(dataset)
+        rng = ensure_rng(self.seed)
+        self._path_scores = self._diffused_factors(dataset, rng)
+        self.theta = self._learn_theta(dataset, rng)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        stacked = np.stack([s[user_id] for s in self._path_scores], axis=0)
+        return self.theta @ stacked
+
+
+@register_model("HeteRec_p")
+class HeteRecP(HeteRec):
+    """HeteRec with per-cluster personalized path weights (Eq. 18)."""
+
+    def __init__(self, num_clusters: int = 4, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_clusters = num_clusters
+        self._centroids: np.ndarray | None = None
+        self._cluster_theta: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "HeteRecP":
+        self._mark_fitted(dataset)
+        rng = ensure_rng(self.seed)
+        self._path_scores = self._diffused_factors(dataset, rng)
+
+        rows = dataset.interactions.to_dense()
+        k = min(self.num_clusters, dataset.num_users)
+        assignments, self._centroids = kmeans(rows, k, seed=rng)
+
+        features = np.stack(self._path_scores, axis=0)
+        num_paths = features.shape[0]
+        self._cluster_theta = np.full((k, num_paths), 1.0 / num_paths)
+        pairs = dataset.interactions.pairs()
+        for cluster in range(k):
+            members = set(np.flatnonzero(assignments == cluster).tolist())
+            cluster_pairs = pairs[[int(p[0]) in members for p in pairs]]
+            if cluster_pairs.shape[0] == 0:
+                continue
+            theta = self._cluster_theta[cluster]
+            for __ in range(self.theta_epochs):
+                idx = rng.integers(0, cluster_pairs.shape[0], size=min(400, cluster_pairs.shape[0]))
+                for row in idx:
+                    u, i = int(cluster_pairs[row, 0]), int(cluster_pairs[row, 1])
+                    j = int(rng.integers(0, dataset.num_items))
+                    x = features[:, u, i] - features[:, u, j]
+                    g = 1.0 / (1.0 + np.exp(theta @ x))
+                    theta += self.theta_lr * g * x / idx.size * 50
+            self._cluster_theta[cluster] = theta
+        self._user_rows = rows
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        row = self._user_rows[user_id]
+        norms = np.linalg.norm(self._centroids, axis=1) * max(np.linalg.norm(row), 1e-9)
+        sims = np.divide(
+            self._centroids @ row, norms, out=np.zeros(len(norms)), where=norms > 0
+        )
+        sims = np.maximum(sims, 0.0)
+        if sims.sum() == 0:
+            sims = np.ones_like(sims)
+        sims /= sims.sum()
+        theta = sims @ self._cluster_theta  # soft cluster mixture (Eq. 18)
+        stacked = np.stack([s[user_id] for s in self._path_scores], axis=0)
+        return theta @ stacked

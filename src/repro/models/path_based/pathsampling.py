@@ -1,0 +1,107 @@
+"""Path extraction from a user to candidate items (RKGE/KPRN/EIUM/MCRec).
+
+One randomized bounded DFS from the user's entity collects up to K paths to
+*every* item simultaneously, so both training (specific pairs) and full
+ranking (all items) reuse a single per-user traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.metapath import Path
+
+__all__ = ["paths_to_targets", "PathBank"]
+
+
+def paths_to_targets(
+    kg: KnowledgeGraph,
+    source: int,
+    targets: dict[int, int],
+    max_length: int = 3,
+    max_paths_per_target: int = 3,
+    max_expansions: int = 8000,
+    min_length: int = 2,
+    seed: int | np.random.Generator | None = None,
+) -> dict[int, list[Path]]:
+    """Collect paths from ``source`` to each target entity.
+
+    ``targets`` maps entity id -> anything (only keys are used).  Traversal
+    is undirected, simple (no entity revisits within a path), randomized in
+    neighbor order, and stops after ``max_expansions`` node expansions.
+
+    ``min_length=2`` (default) drops the trivial direct user->item edge:
+    recording it would leak the training label into the path features —
+    the model would learn "has an interact edge" instead of path semantics
+    and collapse on held-out items (the standard KPRN/RKGE preprocessing).
+    """
+    rng = ensure_rng(seed)
+    found: dict[int, list[Path]] = {t: [] for t in targets}
+    stack: list[tuple[int, tuple[int, ...], tuple[int, ...]]] = [
+        (source, (source,), ())
+    ]
+    expansions = 0
+    while stack and expansions < max_expansions:
+        node, ent_path, rel_path = stack.pop()
+        expansions += 1
+        if len(rel_path) >= max_length:
+            continue
+        neighbors = kg.neighbors(node, undirected=True)
+        order = rng.permutation(len(neighbors))
+        for pos in order:
+            relation, neighbor = neighbors[pos]
+            if neighbor in ent_path:
+                continue
+            new_ents = ent_path + (neighbor,)
+            new_rels = rel_path + (relation,)
+            bucket = found.get(neighbor)
+            if (
+                bucket is not None
+                and len(bucket) < max_paths_per_target
+                and len(new_rels) >= min_length
+            ):
+                bucket.append(Path(new_ents, new_rels))
+            stack.append((neighbor, new_ents, new_rels))
+    return found
+
+
+class PathBank:
+    """Per-user cache of user-to-item paths on a lifted dataset."""
+
+    def __init__(
+        self,
+        lifted,
+        max_length: int = 3,
+        max_paths_per_item: int = 3,
+        max_expansions: int = 8000,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.lifted = lifted
+        self.max_length = max_length
+        self.max_paths_per_item = max_paths_per_item
+        self.max_expansions = max_expansions
+        self._rng = ensure_rng(seed)
+        self._cache: dict[int, dict[int, list[Path]]] = {}
+        self._targets = {int(e): i for i, e in enumerate(lifted.item_entities)}
+
+    def paths(self, user_id: int, item_id: int) -> list[Path]:
+        """Paths user -> item (entity-level), cached per user."""
+        by_entity = self._user_paths(user_id)
+        entity = int(self.lifted.item_entities[item_id])
+        return by_entity.get(entity, [])
+
+    def _user_paths(self, user_id: int) -> dict[int, list[Path]]:
+        if user_id not in self._cache:
+            source = int(self.lifted.user_entities[user_id])
+            self._cache[user_id] = paths_to_targets(
+                self.lifted.kg,
+                source,
+                self._targets,
+                max_length=self.max_length,
+                max_paths_per_target=self.max_paths_per_item,
+                max_expansions=self.max_expansions,
+                seed=self._rng,
+            )
+        return self._cache[user_id]

@@ -1,0 +1,163 @@
+"""RuleRec — jointly learning explainable rules for recommendation
+(Ma et al., WWW 2019).
+
+RuleRec mines item-item association *rules* — meta-paths in an external KG
+— and learns a weight per rule from item co-interaction evidence, freeing
+the practitioner from hand-tuning meta-path sets.  The item recommendation
+module combines a matrix-factorization score with the rule-derived affinity
+between the candidate and the user's history.  Because rules and weights
+are explicit, each recommendation carries a rule-level explanation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.recommender import Explanation, Recommender
+from repro.core.registry import register_model
+from repro.core.rng import ensure_rng
+from repro.kg.metapath import MetaPath
+
+from ..baselines.bpr import BPRMF
+from . import common
+
+__all__ = ["RuleRec"]
+
+
+@register_model("RuleRec")
+class RuleRec(Recommender):
+    """MF + learned item-item KG rules; explanations cite the rule."""
+
+    requires_kg = True
+    supports_explanations = True
+
+    def __init__(
+        self,
+        dim: int = 16,
+        num_rules: int = 5,
+        rule_epochs: int = 40,
+        rule_lr: float = 0.2,
+        rule_weight: float = 1.0,
+        mf_epochs: int = 30,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.num_rules = num_rules
+        self.rule_epochs = rule_epochs
+        self.rule_lr = rule_lr
+        self.rule_weight = rule_weight
+        self.mf_epochs = mf_epochs
+        self.seed = seed
+        self.rules: list[MetaPath] = []
+        self.rule_weights: np.ndarray | None = None
+        self._rule_sims: list[np.ndarray] | None = None
+        self._mf: BPRMF | None = None
+
+    # ------------------------------------------------------------------ #
+    def _learn_rule_weights(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Logistic regression: does a rule predict item association?
+
+        Positives are *strongly* co-interacted item pairs (co-count in the
+        top quartile of nonzero co-counts); negatives are pairs never
+        co-interacted.  Dense feedback makes "any co-interaction" nearly
+        universal, so the contrast must come from the strong/never split.
+        """
+        dense = dataset.interactions.to_dense()
+        co = dense.T @ dense
+        np.fill_diagonal(co, -1.0)
+        nonzero = co[co > 0]
+        if nonzero.size == 0:
+            return np.full(len(self._rule_sims), 1.0 / max(1, len(self._rule_sims)))
+        threshold = np.quantile(nonzero, 0.75)
+        pos_pairs = np.argwhere(co >= threshold)
+        neg_pairs = np.argwhere(co == 0)
+        if pos_pairs.shape[0] == 0 or neg_pairs.shape[0] == 0:
+            return np.full(len(self._rule_sims), 1.0 / max(1, len(self._rule_sims)))
+
+        weights = np.zeros(len(self._rule_sims))
+        bias = 0.0
+        for __ in range(self.rule_epochs):
+            idx = rng.integers(0, pos_pairs.shape[0], size=min(500, pos_pairs.shape[0]))
+            for row in idx:
+                i, j = int(pos_pairs[row, 0]), int(pos_pairs[row, 1])
+                neg_row = neg_pairs[int(rng.integers(0, neg_pairs.shape[0]))]
+                for item_pair, label in (
+                    ((i, j), 1.0),
+                    ((int(neg_row[0]), int(neg_row[1])), 0.0),
+                ):
+                    x = np.asarray([s[item_pair] for s in self._rule_sims])
+                    p = 1.0 / (1.0 + np.exp(-(weights @ x + bias)))
+                    err = p - label
+                    weights -= self.rule_lr * err * x
+                    bias -= self.rule_lr * err
+        return np.maximum(weights, 0.0)
+
+    def fit(self, dataset: Dataset) -> "RuleRec":
+        self._mark_fitted(dataset)
+        rng = ensure_rng(self.seed)
+        lifted = common.lift(dataset)
+        self.rules = common.item_metapaths(lifted, max_paths=self.num_rules)
+        self._rule_sims = [
+            common.item_similarity(lifted, rule, kind="pathsim") for rule in self.rules
+        ]
+        self.rule_weights = self._learn_rule_weights(dataset, rng)
+
+        self._mf = BPRMF(dim=self.dim, epochs=self.mf_epochs, seed=self.seed)
+        self._mf.fit(dataset)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _rule_affinity(self, user_id: int) -> np.ndarray:
+        """Rule-weighted affinity of all items to the user's history."""
+        dataset = self.fitted_dataset
+        history = dataset.interactions.items_of(user_id)
+        if history.size == 0:
+            return np.zeros(dataset.num_items)
+        total = np.zeros(dataset.num_items)
+        for weight, sim in zip(self.rule_weights, self._rule_sims):
+            total += weight * sim[history].mean(axis=0)
+        return total
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        mf_scores = self._mf.score_all(user_id)
+        return mf_scores + self.rule_weight * self._rule_affinity(user_id)
+
+    def explain(self, user_id: int, item_id: int) -> list[Explanation]:
+        """Cite the strongest (rule, history item) pair for the candidate."""
+        dataset = self.fitted_dataset
+        history = dataset.interactions.items_of(user_id)
+        best: tuple[float, int, int] | None = None
+        for rule_id, (weight, sim) in enumerate(zip(self.rule_weights, self._rule_sims)):
+            for hist_item in history:
+                strength = weight * sim[int(hist_item), item_id]
+                if strength > 0 and (best is None or strength > best[0]):
+                    best = (strength, rule_id, int(hist_item))
+        if best is None:
+            return []
+        strength, rule_id, hist_item = best
+        rule = self.rules[rule_id]
+        kg = dataset.kg
+        # Ground the rule into a concrete path hist_item -attr-> x -attr-> item.
+        from repro.kg.metapath import enumerate_paths
+
+        src = int(dataset.item_entities[hist_item])
+        dst = int(dataset.item_entities[item_id])
+        grounded = enumerate_paths(kg, src, dst, max_length=rule.length, max_paths=1)
+        entities = grounded[0].entities if grounded else ()
+        relations = grounded[0].relations if grounded else ()
+        return [
+            Explanation(
+                user_id=user_id,
+                item_id=item_id,
+                kind="rule",
+                score=strength,
+                entities=entities,
+                relations=relations,
+                detail=f"rule {rule.describe(kg)} (weight {self.rule_weights[rule_id]:.3f})",
+            )
+        ]

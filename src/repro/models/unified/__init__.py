@@ -1,0 +1,24 @@
+"""Unified methods (survey Section 4.3): embedding propagation combining
+semantic representations with connectivity."""
+
+from .akge import AKGE
+from .akupm import AKUPM, RCoLM
+from .intentgc import IntentGC
+from .kgat import KGAT
+from .kgcn import AGGREGATORS, KGCN, KGCNLS
+from .kni import KNI
+from .ripplenet import RippleNet, RippleNetAgg
+
+__all__ = [
+    "RippleNet",
+    "AKGE",
+    "RippleNetAgg",
+    "KGCN",
+    "KGCNLS",
+    "AGGREGATORS",
+    "KGAT",
+    "AKUPM",
+    "RCoLM",
+    "KNI",
+    "IntentGC",
+]

@@ -1,0 +1,103 @@
+"""AKGE — Attentive Knowledge Graph Embedding (Sha, Sun & Zhang, 2019).
+
+AKGE argues that propagating over the *whole* KG dilutes the signal:
+instead it extracts, per (user, item) pair, a distance-aware **subgraph**
+— the entities on the shortest paths connecting the pair — pre-trains
+entity embeddings with TransR, and runs an attention-based GNN over that
+subgraph only.  The refined user and item node states feed the predictor.
+
+Subgraphs come from the shared :class:`PathBank` (paths up to 3 hops on
+the lifted user-item graph); the attentive GNN is two rounds of softmax-
+attention message passing within each pair's subgraph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.dataset import Dataset
+from repro.core.registry import register_model
+from repro.kge import TransR
+
+from ..common import GradientRecommender
+from ..path_based import common as path_common
+from ..path_based.pathsampling import PathBank
+
+__all__ = ["AKGE"]
+
+
+@register_model("AKGE")
+class AKGE(GradientRecommender):
+    """Subgraph-attentive GNN over pair-specific distance subgraphs."""
+
+    requires_kg = True
+
+    def __init__(
+        self,
+        dim: int = 16,
+        gnn_layers: int = 2,
+        max_paths: int = 4,
+        pretrain_epochs: int = 8,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("epochs", 4)
+        kwargs.setdefault("batch_size", 48)
+        super().__init__(dim=dim, loss="bpr", **kwargs)
+        self.gnn_layers = gnn_layers
+        self.max_paths = max_paths
+        self.pretrain_epochs = pretrain_epochs
+
+    def _build(self, dataset: Dataset, rng: np.random.Generator) -> None:
+        self._lifted = path_common.lift(dataset)
+        kg = self._lifted.kg
+        self.entity = nn.Embedding(kg.num_entities, self.dim, seed=rng)
+        if self.pretrain_epochs > 0:
+            kge = TransR(kg.num_entities, kg.num_relations, dim=self.dim, seed=rng)
+            kge.fit(kg.store, epochs=self.pretrain_epochs, seed=rng)
+            self.entity.weight.data[:] = kge.entity_embeddings()
+        self.message = [nn.Linear(self.dim, self.dim, seed=rng) for __ in range(self.gnn_layers)]
+        self.scorer = nn.MLP([2 * self.dim, 16, 1], seed=rng)
+        self._bank = PathBank(
+            self._lifted, max_length=3, max_paths_per_item=self.max_paths, seed=rng
+        )
+        # Per-pair subgraph cache: (nodes, adjacency mask, user_pos, item_pos).
+        self._subgraphs: dict[tuple[int, int], tuple] = {}
+
+    def _subgraph(self, user: int, item: int):
+        key = (user, item)
+        if key in self._subgraphs:
+            return self._subgraphs[key]
+        paths = self._bank.paths(user, item)
+        source = int(self._lifted.user_entities[user])
+        target = int(self._lifted.item_entities[item])
+        nodes: list[int] = [source, target]
+        for path in paths:
+            for entity in path.entities:
+                if entity not in nodes:
+                    nodes.append(entity)
+        index = {e: i for i, e in enumerate(nodes)}
+        adj = np.eye(len(nodes))
+        for path in paths:
+            for a, b in zip(path.entities[:-1], path.entities[1:]):
+                adj[index[a], index[b]] = 1.0
+                adj[index[b], index[a]] = 1.0
+        self._subgraphs[key] = (np.asarray(nodes, dtype=np.int64), adj)
+        return self._subgraphs[key]
+
+    def _pair_score(self, user: int, item: int) -> Tensor:
+        nodes, adj = self._subgraph(user, item)
+        h = self.entity(nodes)  # (S, d)
+        scale = 1.0 / np.sqrt(self.dim)
+        mask = Tensor((adj - 1.0) * 1e9)
+        for layer in range(self.gnn_layers):
+            logits = (h @ h.T) * scale + mask  # attend only along subgraph edges
+            att = ops.softmax(logits, axis=1)
+            h = ops.tanh(self.message[layer](att @ h)) + h
+        pair = ops.concat([h[0], h[1]], axis=0).reshape(1, 2 * self.dim)
+        return self.scorer(pair).reshape(1)
+
+    def _score_batch(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        scores = [self._pair_score(int(u), int(v)) for u, v in zip(users, items)]
+        return ops.concat(scores, axis=0)

@@ -1,0 +1,86 @@
+"""IntentGC — scalable relation-aware graph convolution (Zhao et al., KDD
+2019).
+
+IntentGC exploits heterogeneous user/item relations with a *faster*
+convolution: instead of attending over individual neighbors, it averages
+neighbors per relation and mixes the per-relation summaries with learned
+weights (the vector-wise IntentNet trick that avoids the quadratic
+neighbor-pair cost).  Implemented over the lifted user-item graph with
+full-graph (dense) propagation, which the small synthetic graphs afford.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.autograd import nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.dataset import Dataset
+from repro.core.registry import register_model
+from repro.kg.builders import ensure_user_item_graph
+
+from ..common import GradientRecommender
+
+__all__ = ["IntentGC"]
+
+
+@register_model("IntentGC")
+class IntentGC(GradientRecommender):
+    """Relation-wise mean aggregation GCN on the user-item graph."""
+
+    requires_kg = True
+
+    def __init__(self, dim: int = 16, num_layers: int = 2, **kwargs) -> None:
+        super().__init__(dim=dim, loss="bpr", **kwargs)
+        self.num_layers = max(1, num_layers)
+
+    def _build(self, dataset: Dataset, rng: np.random.Generator) -> None:
+        lifted = ensure_user_item_graph(dataset)
+        self._lifted = lifted
+        kg = lifted.kg
+
+        # Row-normalized undirected adjacency per relation (dense; graphs
+        # here are a few hundred entities).
+        n = kg.num_entities
+        self._adjacency: list[np.ndarray] = []
+        for relation in range(kg.num_relations):
+            idx = kg.store.with_relation(relation)
+            rows = np.concatenate([kg.store.heads[idx], kg.store.tails[idx]])
+            cols = np.concatenate([kg.store.tails[idx], kg.store.heads[idx]])
+            mat = sparse.csr_matrix(
+                (np.ones(rows.size), (rows, cols)), shape=(n, n)
+            ).toarray()
+            sums = mat.sum(axis=1, keepdims=True)
+            self._adjacency.append(mat / np.maximum(sums, 1.0))
+
+        self.entity = nn.Embedding(n, self.dim, seed=rng)
+        self.self_w = [nn.Linear(self.dim, self.dim, seed=rng) for __ in range(self.num_layers)]
+        self.rel_w = [
+            [nn.Linear(self.dim, self.dim, bias=False, seed=rng) for __ in range(kg.num_relations)]
+            for __ in range(self.num_layers)
+        ]
+
+    def _propagate_all(self) -> Tensor:
+        """Full-graph propagation; returns the final (N, d) entity table."""
+        x = self.entity.weight
+        for layer in range(self.num_layers):
+            out = self.self_w[layer](x)
+            for relation, adjacency in enumerate(self._adjacency):
+                pooled = Tensor(adjacency) @ x
+                out = out + self.rel_w[layer][relation](pooled)
+            x = ops.relu(out) if layer < self.num_layers - 1 else ops.tanh(out)
+        return x
+
+    def _score_batch(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        table = self._propagate_all()
+        u = table[self._lifted.user_entities[users]]
+        v = table[self._lifted.item_entities[items]]
+        return (u * v).sum(axis=1)
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        # One propagation scores every item at once.
+        table = self._propagate_all()
+        u = table.numpy()[self._lifted.user_entities[user_id]]
+        items = table.numpy()[self._lifted.item_entities]
+        return items @ u

@@ -1,0 +1,179 @@
+"""KGCN — Knowledge Graph Convolutional Networks (Wang et al., WWW 2019)
+and KGCN-LS, its label-smoothness extension (KDD 2019).
+
+The candidate item's representation is built inward from its H-hop sampled
+receptive field: neighbors are weighted by a *user-relation* attention
+(``pi = softmax(u . r)``) and merged with the center entity by one of the
+survey's four aggregators (Eq. 30-33: sum, concat, neighbor,
+bi-interaction).  KGCN-LS adds a label-smoothness term: user interaction
+labels are propagated over the same receptive field with the same
+user-specific edge weights, and the propagated label of the candidate must
+match the true label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import losses, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError
+from repro.core.registry import register_model
+from repro.kg.sampling import NeighborCache
+
+from ..common import GradientRecommender
+
+__all__ = ["KGCN", "KGCNLS", "AGGREGATORS"]
+
+AGGREGATORS = ("sum", "concat", "neighbor", "bi-interaction")
+
+
+@register_model("KGCN")
+class KGCN(GradientRecommender):
+    """GNN over the item KG with user-relation attention sampling."""
+
+    requires_kg = True
+
+    def __init__(
+        self,
+        dim: int = 16,
+        hops: int = 1,
+        num_neighbors: int = 16,
+        aggregator: str = "sum",
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("loss", "bce")
+        super().__init__(dim=dim, **kwargs)
+        if aggregator not in AGGREGATORS:
+            raise ConfigError(f"aggregator must be one of {AGGREGATORS}")
+        self.hops = max(1, hops)
+        self.num_neighbors = num_neighbors
+        self.aggregator = aggregator
+
+    # ------------------------------------------------------------------ #
+    def _build(self, dataset: Dataset, rng: np.random.Generator) -> None:
+        kg = dataset.kg
+        self.user = nn.Embedding(dataset.num_users, self.dim, seed=rng)
+        self.entity = nn.Embedding(kg.num_entities, self.dim, seed=rng)
+        # +1 relation row for the self-loop used by isolated entities.
+        self.relation = nn.Embedding(kg.num_relations + 1, self.dim, seed=rng)
+        if self.aggregator == "concat":
+            self.agg_weights = [
+                nn.Linear(2 * self.dim, self.dim, seed=rng) for __ in range(self.hops)
+            ]
+        elif self.aggregator == "bi-interaction":
+            self.agg_weights = [
+                (nn.Linear(self.dim, self.dim, seed=rng), nn.Linear(self.dim, self.dim, seed=rng))
+                for __ in range(self.hops)
+            ]
+        else:
+            self.agg_weights = [
+                nn.Linear(self.dim, self.dim, seed=rng) for __ in range(self.hops)
+            ]
+
+        # Static receptive fields per item entity: hop k holds S^k entities.
+        cache = NeighborCache(kg)
+        seeds = dataset.item_entities.astype(np.int64)
+        self._ent_hops: list[np.ndarray] = [seeds.reshape(-1, 1)]
+        self._rel_hops: list[np.ndarray] = []
+        for __ in range(self.hops):
+            frontier = self._ent_hops[-1]
+            rels, nbrs = cache.sample(frontier.ravel(), self.num_neighbors, seed=rng)
+            n_items = seeds.size
+            self._ent_hops.append(nbrs.reshape(n_items, -1))
+            self._rel_hops.append(rels.reshape(n_items, -1))
+
+    def _attention(self, u: Tensor, rels: np.ndarray) -> Tensor:
+        """User-relation scores pi = softmax_neighbors(u . r) (B, W, S)."""
+        batch, width = rels.shape[0], rels.shape[1]
+        r = self.relation(rels.reshape(batch, -1, self.num_neighbors))
+        logits = (u.reshape(batch, 1, 1, self.dim) * r).sum(axis=3)
+        return ops.softmax(logits, axis=2)  # (B, W/S, S)
+
+    def _aggregate(self, depth: int, self_vec: Tensor, nbr_vec: Tensor) -> Tensor:
+        """One of the survey's four aggregators (Eq. 30-33)."""
+        act = ops.tanh if depth == 0 else ops.relu
+        if self.aggregator == "sum":
+            return act(self.agg_weights[depth](self_vec + nbr_vec))
+        if self.aggregator == "concat":
+            return act(self.agg_weights[depth](ops.concat([self_vec, nbr_vec], axis=-1)))
+        if self.aggregator == "neighbor":
+            return act(self.agg_weights[depth](nbr_vec))
+        w1, w2 = self.agg_weights[depth]
+        return act(w1(self_vec + nbr_vec)) + act(w2(self_vec * nbr_vec))
+
+    def _item_representation(self, users: np.ndarray, items: np.ndarray, u: Tensor) -> Tensor:
+        batch = items.size
+        vectors = [
+            self.entity(hop[items]).reshape(batch, -1, self.dim)
+            for hop in self._ent_hops
+        ]
+        for depth in reversed(range(self.hops)):
+            rels = self._rel_hops[depth][items]  # (B, W*S)
+            att = self._attention(u, rels)  # (B, W, S)
+            width = att.shape[1]
+            nbr = vectors[depth + 1].reshape(batch, width, self.num_neighbors, self.dim)
+            pooled = (att.reshape(batch, width, self.num_neighbors, 1) * nbr).sum(axis=2)
+            self_vec = vectors[depth]  # (B, W, d)
+            vectors[depth] = self._aggregate(depth, self_vec, pooled)
+        return vectors[0].reshape(batch, self.dim)
+
+    def _score_batch(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        u = self.user(users)
+        v = self._item_representation(users, items, u)
+        return (u * v).sum(axis=1)
+
+
+@register_model("KGCN-LS")
+class KGCNLS(KGCN):
+    """KGCN + label-smoothness regularization on propagated labels."""
+
+    def __init__(self, ls_weight: float = 0.5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.ls_weight = ls_weight
+        self._ls_batch: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _build(self, dataset: Dataset, rng: np.random.Generator) -> None:
+        super()._build(dataset, rng)
+        # entity -> aligned item id (or -1) for label lookup.
+        kg = dataset.kg
+        self._entity_item = np.full(kg.num_entities, -1, dtype=np.int64)
+        for item, entity in enumerate(dataset.item_entities):
+            self._entity_item[entity] = item
+
+    def _propagated_label(self, users: np.ndarray, items: np.ndarray, u: Tensor) -> Tensor:
+        """One-step label propagation over the hop-1 neighborhood.
+
+        A neighbor entity carries label 1 if it is an item the user
+        interacted with in training; the candidate's propagated label is the
+        attention-weighted mean of its neighbors' labels, holding out the
+        candidate itself (the LS leave-one-out rule).
+        """
+        dataset = self.fitted_dataset
+        batch = items.size
+        rels = self._rel_hops[0][items]  # (B, S)
+        nbr_entities = self._ent_hops[1][items]  # (B, S)
+        labels = np.zeros((batch, self.num_neighbors))
+        for row, (user, item) in enumerate(zip(users, items)):
+            history = set(dataset.interactions.items_of(int(user)).tolist())
+            history.discard(int(item))  # hold out the candidate
+            for col, entity in enumerate(nbr_entities[row]):
+                aligned = self._entity_item[entity]
+                if aligned >= 0 and int(aligned) in history:
+                    labels[row, col] = 1.0
+        att = self._attention(u, rels).reshape(batch, self.num_neighbors)
+        return (att * Tensor(labels)).sum(axis=1)
+
+    def _batch_loss(self, users, positives, n_items, rng) -> Tensor:
+        base = super()._batch_loss(users, positives, n_items, rng)
+        if self.ls_weight <= 0:
+            return base
+        negatives = rng.integers(0, n_items, size=users.size)
+        all_users = np.concatenate([users, negatives * 0 + users])
+        all_items = np.concatenate([positives, negatives])
+        labels = np.concatenate([np.ones(users.size), np.zeros(users.size)])
+        u = self.user(all_users)
+        propagated = self._propagated_label(all_users, all_items, u)
+        ls = losses.mse_loss(propagated, labels)
+        return base + ls * self.ls_weight

@@ -1,0 +1,72 @@
+"""Shared fixtures: tiny deterministic datasets and graphs.
+
+Session-scoped so the (cheap) generators run once; tests must not mutate
+fixture objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.interactions import InteractionMatrix
+from repro.core.splitter import random_split
+from repro.data import make_movie_dataset, make_news_dataset
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleStore
+
+
+@pytest.fixture(scope="session")
+def tiny_kg() -> KnowledgeGraph:
+    """A 6-entity, 2-relation typed graph used by unit tests.
+
+    Entities: 0,1 items; 2,3 genres; 4,5 actors.
+    Facts: items link to one genre and one actor each; both items share
+    genre 2 (so item-genre-item paths exist).
+    """
+    triples = [
+        (0, 0, 2),  # item0 -has_genre-> genre2
+        (1, 0, 2),  # item1 -has_genre-> genre2
+        (1, 0, 3),  # item1 -has_genre-> genre3
+        (0, 1, 4),  # item0 -acted_by-> actor4
+        (1, 1, 5),  # item1 -acted_by-> actor5
+    ]
+    store = TripleStore.from_triples(triples, num_entities=6, num_relations=2)
+    return KnowledgeGraph(
+        store,
+        entity_labels=["item0", "item1", "genre2", "genre3", "actor4", "actor5"],
+        relation_labels=["has_genre", "acted_by"],
+        entity_types=np.asarray([0, 0, 1, 1, 2, 2]),
+        type_names=["item", "genre", "actor"],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_kg) -> Dataset:
+    """Two users, two items, aligned with ``tiny_kg``."""
+    interactions = InteractionMatrix.from_pairs(
+        [(0, 0), (0, 1), (1, 1)], num_users=2, num_items=2
+    )
+    return Dataset(
+        name="tiny",
+        interactions=interactions,
+        kg=tiny_kg,
+        item_entities=np.asarray([0, 1]),
+    )
+
+
+@pytest.fixture(scope="session")
+def movie_dataset() -> Dataset:
+    """Small movie-scenario dataset shared across model tests."""
+    return make_movie_dataset(seed=7, num_users=40, num_items=60)
+
+
+@pytest.fixture(scope="session")
+def movie_split(movie_dataset):
+    return random_split(movie_dataset, seed=7)
+
+
+@pytest.fixture(scope="session")
+def news_dataset() -> Dataset:
+    return make_news_dataset(seed=3, num_users=25, num_items=40)

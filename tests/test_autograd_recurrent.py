@@ -1,0 +1,127 @@
+"""Finite-difference gradient checks for the recurrent cells.
+
+RKGE/KPRN/KSR depend on the GRU/LSTM gradients being exact; these tests
+verify multi-step unrolled cells against numeric differentiation of a pure
+NumPy reimplementation of the same equations.
+"""
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+
+from .test_autograd_tensor import numeric_grad
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class TestGRUGradient:
+    def _numpy_forward(self, cell, x_seq, h0):
+        """Pure-NumPy replica of the GRUCell equations."""
+        wz, bz = cell.w_z.weight.data, cell.w_z.bias.data
+        wr, br = cell.w_r.weight.data, cell.w_r.bias.data
+        wh, bh = cell.w_h.weight.data, cell.w_h.bias.data
+        h = h0
+        for x in x_seq:
+            xh = np.concatenate([x, h], axis=-1)
+            z = _sigmoid(xh @ wz + bz)
+            r = _sigmoid(xh @ wr + br)
+            cand = np.tanh(np.concatenate([x, r * h], axis=-1) @ wh + bh)
+            h = (1 - z) * h + z * cand
+        return h
+
+    def test_two_step_unroll_input_gradient(self):
+        rng = np.random.default_rng(0)
+        cell = nn.GRUCell(3, 4, seed=1)
+        x_data = rng.normal(size=(2, 2, 3))  # (steps, batch, in)
+
+        def f(x_flat):
+            x = x_flat.reshape(2, 2, 3)
+            h = self._numpy_forward(cell, [x[0], x[1]], np.zeros((2, 4)))
+            return (h**2).sum()
+
+        x0 = Tensor(x_data[0].copy(), requires_grad=True)
+        x1 = Tensor(x_data[1].copy(), requires_grad=True)
+        h = cell.initial_state(2)
+        h = cell(x0, h)
+        h = cell(x1, h)
+        (h * h).sum().backward()
+        numeric = numeric_grad(f, x_data.reshape(-1)).reshape(2, 2, 3)
+        np.testing.assert_allclose(x0.grad, numeric[0], rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(x1.grad, numeric[1], rtol=1e-4, atol=1e-7)
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(2)
+        cell = nn.GRUCell(2, 3, seed=3)
+        x_data = rng.normal(size=(2, 2))
+        w0 = cell.w_z.weight.data.copy()
+
+        def f(w_flat):
+            cell.w_z.weight.data[:] = w_flat.reshape(w0.shape)
+            out = self._numpy_forward(cell, [x_data], np.zeros((2, 3)))
+            cell.w_z.weight.data[:] = w0
+            return (out**2).sum()
+
+        h = cell(Tensor(x_data), cell.initial_state(2))
+        (h * h).sum().backward()
+        numeric = numeric_grad(f, w0.reshape(-1)).reshape(w0.shape)
+        np.testing.assert_allclose(cell.w_z.weight.grad, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestLSTMGradient:
+    def _numpy_forward(self, cell, x, h, c):
+        wi, bi = cell.w_i.weight.data, cell.w_i.bias.data
+        wf, bf = cell.w_f.weight.data, cell.w_f.bias.data
+        wo, bo = cell.w_o.weight.data, cell.w_o.bias.data
+        wc, bc = cell.w_c.weight.data, cell.w_c.bias.data
+        xh = np.concatenate([x, h], axis=-1)
+        i = _sigmoid(xh @ wi + bi)
+        f = _sigmoid(xh @ wf + bf)
+        o = _sigmoid(xh @ wo + bo)
+        g = np.tanh(xh @ wc + bc)
+        c_next = f * c + i * g
+        return o * np.tanh(c_next), c_next
+
+    def test_single_step_input_gradient(self):
+        rng = np.random.default_rng(4)
+        cell = nn.LSTMCell(3, 4, seed=5)
+        x_data = rng.normal(size=(2, 3))
+
+        def f(x_flat):
+            h, __ = self._numpy_forward(
+                cell, x_flat.reshape(2, 3), np.zeros((2, 4)), np.zeros((2, 4))
+            )
+            return (h**2).sum()
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        h, c = cell.initial_state(2)
+        h_next, __ = cell(x, (h, c))
+        (h_next * h_next).sum().backward()
+        numeric = numeric_grad(f, x_data.reshape(-1)).reshape(2, 3)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_cell_state_flows_through_two_steps(self):
+        """Gradient must flow through c as well as h across steps."""
+        rng = np.random.default_rng(6)
+        cell = nn.LSTMCell(2, 3, seed=7)
+        x_data = rng.normal(size=(2, 1, 2))
+
+        def f(x_flat):
+            x = x_flat.reshape(2, 1, 2)
+            h = np.zeros((1, 3))
+            c = np.zeros((1, 3))
+            h, c = self._numpy_forward(cell, x[0], h, c)
+            h, c = self._numpy_forward(cell, x[1], h, c)
+            return (c**2).sum()  # loss on the *cell* state
+
+        x0 = Tensor(x_data[0].copy(), requires_grad=True)
+        x1 = Tensor(x_data[1].copy(), requires_grad=True)
+        h, c = cell.initial_state(1)
+        h, c = cell(x0, (h, c))
+        h, c = cell(x1, (h, c))
+        (c * c).sum().backward()
+        numeric = numeric_grad(f, x_data.reshape(-1)).reshape(2, 1, 2)
+        np.testing.assert_allclose(x0.grad, numeric[0], rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(x1.grad, numeric[1], rtol=1e-4, atol=1e-7)

@@ -1,0 +1,149 @@
+"""Tests for the CLI, grid search, and subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.config import GridResult, grid_search
+from repro.core.exceptions import ConfigError, GraphError
+from repro.models.baselines import BPRMF
+
+
+class TestCLI:
+    def test_table_commands(self, capsys):
+        for number, marker in ((1, "YAGO"), (2, "Notation"), (4, "movie")):
+            assert main(["table", str(number)]) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_table3_lists_methods(self, capsys):
+        assert main(["table", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RippleNet" in out and "Implemented" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Avatar" in out and "Blood Diamond" in out
+
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for scenario in ("movie", "book", "news", "poi"):
+            assert scenario in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Emb. (14):" in out
+        assert "Path (15):" in out
+        assert "Uni. (10):" in out
+
+    def test_unknown_study(self):
+        with pytest.raises(SystemExit):
+            main(["study", "nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGridSearch:
+    def test_sorted_best_first(self, movie_dataset):
+        results = grid_search(
+            lambda dim: BPRMF(dim=dim, epochs=3, seed=0),
+            movie_dataset,
+            {"dim": [4, 8]},
+            max_users=10,
+            seed=0,
+        )
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+        assert isinstance(results[0], GridResult)
+
+    def test_cartesian_product(self, movie_dataset):
+        results = grid_search(
+            lambda dim, lr: BPRMF(dim=dim, lr=lr, epochs=2, seed=0),
+            movie_dataset,
+            {"dim": [4, 8], "lr": [0.01, 0.05]},
+            max_users=8,
+            seed=0,
+        )
+        assert len(results) == 4
+        seen = {tuple(sorted(r.params.items())) for r in results}
+        assert len(seen) == 4
+
+    def test_empty_grid(self, movie_dataset):
+        with pytest.raises(ConfigError):
+            grid_search(lambda: BPRMF(), movie_dataset, {})
+
+    def test_bad_grid_entry(self, movie_dataset):
+        with pytest.raises(ConfigError):
+            grid_search(lambda dim: BPRMF(dim=dim), movie_dataset, {"dim": []})
+
+
+class TestSubgraph:
+    def test_induced_facts(self, tiny_kg):
+        sub, mapping = tiny_kg.subgraph(np.asarray([0, 1, 2]))
+        assert mapping.tolist() == [0, 1, 2]
+        # Facts among {item0, item1, genre2}: both has_genre edges to genre2.
+        assert sub.num_triples == 2
+        assert sub.has_fact(0, 0, 2)
+        assert sub.has_fact(1, 0, 2)
+
+    def test_labels_and_types_carried(self, tiny_kg):
+        sub, __ = tiny_kg.subgraph(np.asarray([1, 3]))
+        assert sub.entity_label(0) == "item1"
+        assert sub.entity_label(1) == "genre3"
+        assert sub.type_name(sub.type_of(1)) == "genre"
+
+    def test_duplicate_entities_deduped(self, tiny_kg):
+        sub, mapping = tiny_kg.subgraph(np.asarray([2, 2, 0]))
+        assert mapping.tolist() == [0, 2]
+        assert sub.num_entities == 2
+
+    def test_out_of_range(self, tiny_kg):
+        with pytest.raises(GraphError):
+            tiny_kg.subgraph(np.asarray([99]))
+
+    def test_relations_preserved(self, tiny_kg):
+        sub, __ = tiny_kg.subgraph(np.arange(6))
+        assert sub.num_triples == tiny_kg.num_triples
+        assert sub.relation_labels == tiny_kg.relation_labels
+
+
+class TestReport:
+    def test_build_report_fast(self, monkeypatch):
+        """The fast report assembles all artifacts and study sections."""
+        from repro.experiments import comparative
+        from repro.experiments.report import build_report
+
+        monkeypatch.setattr(
+            comparative,
+            "DEFAULT_DATA_KWARGS",
+            dict(num_users=14, num_items=22, mean_interactions=6.0),
+        )
+        text = build_report(fast=True, seed=0)
+        for marker in (
+            "kgrec reproduction report",
+            "Table 1",
+            "Table 3",
+            "Figure 1",
+            "Study E1",
+            "Study E3",
+            "Study E4",
+            "top2=True",
+        ):
+            assert marker in text
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        from repro.experiments import comparative
+        from repro.experiments.report import write_report
+
+        monkeypatch.setattr(
+            comparative,
+            "DEFAULT_DATA_KWARGS",
+            dict(num_users=14, num_items=22, mean_interactions=6.0),
+        )
+        path = write_report(tmp_path / "report.md", fast=True, seed=0)
+        assert path.exists()
+        assert "Figure 1" in path.read_text()

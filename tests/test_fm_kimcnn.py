@@ -1,0 +1,78 @@
+"""Unit tests for FMCore and the batched Kim-CNN encoder."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.rng import ensure_rng
+from repro.models.baselines.fm import FMCore
+from repro.models.embedding_based.dkn import BatchedKimCNN
+
+
+class TestFMCore:
+    def test_raw_score_formula(self):
+        """score = bias + <w, x> + sum_{i<j} <v_i, v_j> x_i x_j."""
+        core = FMCore(num_features=4, dim=3, seed=0)
+        core.bias = 0.5
+        rng = np.random.default_rng(1)
+        core.linear[:] = rng.normal(size=4)
+        core.factors[:] = rng.normal(size=(4, 3))
+
+        indices = np.asarray([0, 2, 3])
+        values = np.asarray([1.0, 2.0, -1.0])
+        expected = core.bias + core.linear[indices] @ values
+        for a in range(3):
+            for b in range(a + 1, 3):
+                expected += (
+                    core.factors[indices[a]] @ core.factors[indices[b]]
+                ) * values[a] * values[b]
+        assert core.raw_score(indices, values) == pytest.approx(expected)
+
+    def test_sgd_reduces_loss(self):
+        core = FMCore(num_features=6, dim=2, seed=0)
+        indices = np.asarray([0, 3])
+        values = np.ones(2)
+        first = core.sgd_step(indices, values, 1.0, lr=0.1, reg=0.0)
+        for __ in range(60):
+            last = core.sgd_step(indices, values, 1.0, lr=0.1, reg=0.0)
+        assert last < first
+
+    def test_gradient_clipping_keeps_finite(self):
+        """Huge dense features must not blow the factors up."""
+        core = FMCore(num_features=8, dim=4, seed=0)
+        indices = np.arange(8)
+        values = np.full(8, 50.0)
+        for __ in range(20):
+            core.sgd_step(indices, values, 1.0, lr=0.5, reg=0.0)
+        assert np.isfinite(core.factors).all()
+        assert np.isfinite(core.raw_score(indices, values))
+
+
+class TestBatchedKimCNN:
+    def test_matches_manual_convolution(self):
+        rng = ensure_rng(0)
+        cnn = BatchedKimCNN(in_dim=3, filters=2, kernel_size=2, seed=rng)
+        x = np.random.default_rng(1).normal(size=(2, 5, 3))
+        out = cnn(Tensor(x)).numpy()
+
+        w = cnn.weight.data  # (k*in, F)
+        b = cnn.bias.data
+        for n in range(2):
+            windows = np.stack(
+                [x[n, i : i + 2].reshape(-1) for i in range(4)]
+            )  # (P, k*in)
+            conv = np.maximum(windows @ w + b, 0.0)
+            expected = conv.max(axis=0)
+            np.testing.assert_allclose(out[n], expected, rtol=1e-10)
+
+    def test_gradient_flows(self):
+        cnn = BatchedKimCNN(in_dim=2, filters=3, kernel_size=2, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 2)), requires_grad=True)
+        cnn(x).sum().backward()
+        assert x.grad is not None
+        assert cnn.weight.grad is not None
+
+    def test_output_shape(self):
+        cnn = BatchedKimCNN(in_dim=4, filters=6, kernel_size=3, seed=0)
+        out = cnn(Tensor(np.zeros((5, 7, 4))))
+        assert out.shape == (5, 6)

@@ -1,0 +1,146 @@
+"""Serialization round-trips and degenerate-input edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import load_dataset, save_dataset
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DataError
+from repro.core.interactions import InteractionMatrix
+from repro.data import make_movie_dataset, make_news_dataset
+
+
+class TestDatasetIO:
+    def test_roundtrip_movie(self, tmp_path):
+        original = make_movie_dataset(seed=0, num_users=12, num_items=20)
+        path = tmp_path / "movie.npz"
+        save_dataset(original, path)
+        restored = load_dataset(path)
+
+        assert restored.name == original.name
+        assert np.array_equal(
+            restored.interactions.pairs(), original.interactions.pairs()
+        )
+        assert np.array_equal(restored.kg.triples(), original.kg.triples())
+        assert restored.kg.entity_labels == original.kg.entity_labels
+        assert restored.kg.type_names == original.kg.type_names
+        assert np.array_equal(restored.item_entities, original.item_entities)
+        assert restored.extra["scenario"] == "movie"
+
+    def test_roundtrip_preserves_latent_arrays(self, tmp_path):
+        original = make_movie_dataset(seed=1, num_users=10, num_items=15)
+        path = tmp_path / "w.npz"
+        save_dataset(original, path)
+        restored = load_dataset(path)
+        np.testing.assert_allclose(
+            restored.extra["user_latent"], original.extra["user_latent"]
+        )
+
+    def test_roundtrip_item_text(self, tmp_path):
+        original = make_news_dataset(seed=0, num_users=8, num_items=12)
+        path = tmp_path / "news.npz"
+        save_dataset(original, path)
+        restored = load_dataset(path)
+        np.testing.assert_allclose(restored.item_text, original.item_text)
+
+    def test_roundtrip_without_kg(self, tmp_path):
+        plain = Dataset(
+            name="plain",
+            interactions=InteractionMatrix.from_pairs([(0, 1), (1, 0)], 2, 2),
+        )
+        path = tmp_path / "plain.npz"
+        save_dataset(plain, path)
+        restored = load_dataset(path)
+        assert restored.kg is None
+        assert restored.interactions.nnz == 2
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_restored_dataset_trains_models(self, tmp_path):
+        from repro.core.splitter import random_split
+        from repro.models.unified import KGCN
+
+        original = make_movie_dataset(seed=2, num_users=12, num_items=20)
+        path = tmp_path / "train.npz"
+        save_dataset(original, path)
+        restored = load_dataset(path)
+        train, __ = random_split(restored, seed=2)
+        model = KGCN(epochs=1, num_neighbors=4, seed=0).fit(train)
+        assert np.isfinite(model.score_all(0)).all()
+
+
+class TestAlignmentValidation:
+    def test_unaligned_items_rejected_by_kg_models(self, tiny_kg):
+        from repro.models.unified import RippleNet
+
+        broken = Dataset(
+            name="broken",
+            interactions=InteractionMatrix.from_pairs([(0, 0), (1, 1)], 2, 2),
+            kg=tiny_kg,
+            item_entities=np.asarray([0, -1]),  # item 1 unaligned
+        )
+        with pytest.raises(DataError, match="aligned"):
+            RippleNet(epochs=1).fit(broken)
+
+    def test_missing_alignment_rejected(self, tiny_kg):
+        from repro.models.unified import KGCN
+
+        broken = Dataset(
+            name="broken",
+            interactions=InteractionMatrix.from_pairs([(0, 0), (1, 1)], 2, 2),
+            kg=tiny_kg,
+        )
+        with pytest.raises(DataError):
+            KGCN(epochs=1).fit(broken)
+
+
+class TestDegenerateInputs:
+    def test_user_with_no_interactions_scores(self, tiny_kg):
+        """Models must score users with empty history without crashing."""
+        from repro.models.baselines import MostPopular
+        from repro.models.embedding_based import SED
+
+        data = Dataset(
+            name="sparse-user",
+            interactions=InteractionMatrix.from_pairs([(0, 0), (0, 1)], 3, 2),
+            kg=tiny_kg,
+            item_entities=np.asarray([0, 1]),
+        )
+        for model in (MostPopular(), SED()):
+            model.fit(data)
+            scores = model.score_all(2)  # user 2 has no history
+            assert scores.shape == (2,)
+            assert np.isfinite(scores).all()
+
+    def test_single_relation_graph_metapaths(self):
+        """Meta-path selection must survive a one-relation KG."""
+        from repro.data import AttributeSpec, ScenarioSchema, generate_dataset
+        from repro.models.path_based import HeteRec
+
+        schema = ScenarioSchema(
+            scenario="mono",
+            item_type="thing",
+            attributes=(AttributeSpec("tag", "tagged", count=6, per_item=(1, 2)),),
+        )
+        data = generate_dataset(schema, num_users=8, num_items=12, seed=0)
+        model = HeteRec(theta_epochs=2, nmf_iterations=10, seed=0).fit(data)
+        assert np.isfinite(model.score_all(0)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_property_io_roundtrip_random_worlds(tmp_path_factory, seed):
+    original = make_movie_dataset(seed=seed, num_users=6, num_items=10)
+    path = tmp_path_factory.mktemp("io") / f"w{seed}.npz"
+    save_dataset(original, path)
+    restored = load_dataset(path)
+    assert np.array_equal(
+        restored.interactions.pairs(), original.interactions.pairs()
+    )
+    assert np.array_equal(restored.kg.triples(), original.kg.triples())

@@ -1,0 +1,153 @@
+"""Contract tests every registered model must satisfy.
+
+Each model is fitted with tiny budgets on a tiny dataset and checked for:
+shape/finiteness of scores, ranking API behaviour, fit-before-use errors,
+and seed determinism (for a representative subset).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_model_class, is_implemented, list_registered
+from repro.core.exceptions import NotFittedError
+from repro.core.splitter import random_split
+from repro.data import make_movie_dataset
+from repro.models import baselines, embedding_based, path_based, unified  # noqa: F401
+
+#: name -> factory with minimal training budgets (keeps the suite fast).
+FAST_FACTORIES = {
+    "Random": lambda: baselines.Random(seed=0),
+    "MostPopular": lambda: baselines.MostPopular(),
+    "ItemKNN": lambda: baselines.ItemKNN(),
+    "UserKNN": lambda: baselines.UserKNN(),
+    "FunkSVD": lambda: baselines.FunkSVD(epochs=2, seed=0),
+    "NMF": lambda: baselines.NMF(iterations=20, seed=0),
+    "BPR-MF": lambda: baselines.BPRMF(epochs=2, seed=0),
+    "FM": lambda: baselines.FactorizationMachine(epochs=2, seed=0),
+    "CKE": lambda: embedding_based.CKE(epochs=2, kge_epochs=2, seed=0),
+    "CFKG": lambda: embedding_based.CFKG(epochs=3, seed=0),
+    "ECFKG": lambda: embedding_based.ECFKG(epochs=3, seed=0),
+    "entity2rec": lambda: embedding_based.Entity2Rec(
+        num_walks=2, sgns_epochs=1, rank_epochs=3, seed=0
+    ),
+    "BEM": lambda: embedding_based.BEM(kge_epochs=2, seed=0),
+    "AKGE": lambda: unified.AKGE(epochs=1, pretrain_epochs=2, seed=0),
+    "DKN": lambda: embedding_based.DKN(epochs=1, kge_epochs=2, seed=0),
+    "KSR": lambda: embedding_based.KSR(epochs=1, kge_epochs=2, seed=0),
+    "MKR": lambda: embedding_based.MKR(epochs=2, seed=0),
+    "KTUP": lambda: embedding_based.KTUP(epochs=2, seed=0),
+    "RCF": lambda: embedding_based.RCF(epochs=2, seed=0),
+    "SHINE": lambda: embedding_based.SHINE(epochs=2, ae_epochs=5, seed=0),
+    "KTGAN": lambda: embedding_based.KTGAN(epochs=2, kge_epochs=2, seed=0),
+    "DKFM": lambda: embedding_based.DKFM(epochs=1, kge_epochs=2, seed=0),
+    "SED": lambda: embedding_based.SED(),
+    "Hete-MF": lambda: path_based.HeteMF(epochs=2, seed=0),
+    "Hete-CF": lambda: path_based.HeteCF(epochs=1, seed=0),
+    "HeteRec": lambda: path_based.HeteRec(theta_epochs=3, nmf_iterations=15, seed=0),
+    "HeteRec_p": lambda: path_based.HeteRecP(theta_epochs=3, nmf_iterations=15, seed=0),
+    "SemRec": lambda: path_based.SemRec(weight_epochs=3, seed=0),
+    "ProPPR": lambda: path_based.ProPPR(weight_rounds=0, iterations=5, seed=0),
+    "FMG": lambda: path_based.FMG(epochs=2, lr=0.02, seed=0),
+    "MCRec": lambda: path_based.MCRec(epochs=1, seed=0),
+    "RKGE": lambda: path_based.RKGE(epochs=1, seed=0),
+    "HERec": lambda: path_based.HERec(epochs=2, num_walks=2, sgns_epochs=1, seed=0),
+    "KPRN": lambda: path_based.KPRN(epochs=1, seed=0),
+    "EIUM": lambda: path_based.EIUM(epochs=1, seed=0),
+    "RuleRec": lambda: path_based.RuleRec(rule_epochs=3, mf_epochs=2, seed=0),
+    "PGPR": lambda: path_based.PGPR(epochs=1, kge_epochs=2, seed=0),
+    "Ekar": lambda: path_based.Ekar(epochs=1, kge_epochs=2, seed=0),
+    "RippleNet": lambda: unified.RippleNet(epochs=2, ripple_size=8, seed=0),
+    "RippleNet-agg": lambda: unified.RippleNetAgg(epochs=2, ripple_size=8, seed=0),
+    "KGCN": lambda: unified.KGCN(epochs=2, num_neighbors=4, seed=0),
+    "KGCN-LS": lambda: unified.KGCNLS(epochs=2, num_neighbors=4, seed=0),
+    "KGAT": lambda: unified.KGAT(epochs=1, pretrain_epochs=2, seed=0),
+    "AKUPM": lambda: unified.AKUPM(epochs=2, pretrain_epochs=2, seed=0),
+    "RCoLM": lambda: unified.RCoLM(epochs=2, pretrain_epochs=2, seed=0),
+    "KNI": lambda: unified.KNI(epochs=2, seed=0),
+    "IntentGC": lambda: unified.IntentGC(epochs=2, seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def contract_split():
+    data = make_movie_dataset(seed=1, num_users=16, num_items=24)
+    return random_split(data, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fitted_models(contract_split):
+    train, __ = contract_split
+    fitted = {}
+    for name, factory in FAST_FACTORIES.items():
+        fitted[name] = factory().fit(train)
+    return fitted
+
+
+def test_every_registered_model_has_fast_factory():
+    assert set(list_registered()) == set(FAST_FACTORIES)
+
+
+def test_registry_lookup_matches_instances():
+    for name in FAST_FACTORIES:
+        assert is_implemented(name)
+        cls = get_model_class(name)
+        assert isinstance(FAST_FACTORIES[name](), cls)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FACTORIES))
+def test_scores_shape_and_finite(name, fitted_models, contract_split):
+    train, __ = contract_split
+    model = fitted_models[name]
+    scores = model.score_all(0)
+    assert scores.shape == (train.num_items,)
+    assert np.isfinite(scores).all()
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FACTORIES))
+def test_recommend_excludes_seen(name, fitted_models, contract_split):
+    train, __ = contract_split
+    model = fitted_models[name]
+    seen = set(train.interactions.items_of(0).tolist())
+    recs = model.recommend(0, k=5)
+    assert len(recs) == 5
+    assert seen.isdisjoint(set(recs.tolist()))
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FACTORIES))
+def test_predict_matches_score_all(name, fitted_models, contract_split):
+    model = fitted_models[name]
+    users = np.asarray([1, 1, 2])
+    items = np.asarray([0, 3, 5])
+    from_predict = model.predict(users, items)
+    expected = np.asarray(
+        [model.score_all(int(u))[int(v)] for u, v in zip(users, items)]
+    )
+    np.testing.assert_allclose(from_predict, expected, rtol=1e-8)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FACTORIES))
+def test_unfitted_raises(name):
+    model = FAST_FACTORIES[name]()
+    with pytest.raises(NotFittedError):
+        model.recommend(0, k=3)
+
+
+@pytest.mark.parametrize(
+    "name", ["BPR-MF", "CKE", "RippleNet", "KGCN", "HeteRec", "CFKG"]
+)
+def test_seed_determinism(name, contract_split):
+    train, __ = contract_split
+    a = FAST_FACTORIES[name]().fit(train).score_all(0)
+    b = FAST_FACTORIES[name]().fit(train).score_all(0)
+    np.testing.assert_allclose(a, b)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_FACTORIES))
+def test_explanations_are_wellformed(name, fitted_models):
+    model = fitted_models[name]
+    explanations = model.explain(0, 1)
+    for expl in explanations:
+        assert expl.user_id == 0
+        assert expl.item_id == 1
+        if expl.entities:
+            assert len(expl.entities) == len(expl.relations) + 1

@@ -1,0 +1,154 @@
+"""Equation-level checks: model forward passes vs hand-written NumPy.
+
+Each test freezes a model's parameters, recomputes the survey's equations
+(Eq. 2, 24-26, 30, 33, the KGCN attention) with plain NumPy, and compares
+against the model's differentiable forward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.splitter import random_split
+from repro.data import make_movie_dataset
+from repro.models.embedding_based import MKR
+from repro.models.embedding_based.mkr import CrossCompress
+from repro.models.unified import KGCN, RippleNet
+
+
+def _softmax(x, axis=-1):
+    e = np.exp(x - x.max(axis=axis, keepdims=True))
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def split():
+    data = make_movie_dataset(seed=13, num_users=20, num_items=30)
+    return random_split(data, seed=13)
+
+
+class TestRippleNetEquations:
+    """Eq. 24-26: relation-space attention and hop responses."""
+
+    def test_forward_matches_manual(self, split):
+        train, __ = split
+        model = RippleNet(hops=2, ripple_size=6, epochs=1, seed=0).fit(train)
+        users = np.asarray([0, 3])
+        items = np.asarray([1, 4])
+
+        ent = model.entity.weight.data
+        rel = model.rel_matrix.data
+        item_ents = train.item_entities[items]
+        v = ent[item_ents]  # (B, d)
+
+        query = v.copy()
+        responses = []
+        for hop in range(model.hops):
+            heads = ent[model._heads[users, hop]]  # (B, S, d)
+            tails = ent[model._tails[users, hop]]
+            rels = rel[model._rels[users, hop]]  # (B, S, d, d)
+            mask = model._mask[users, hop]
+            # Eq. 24: p_i = softmax(v^T R_i e_h)
+            rh = np.einsum("bsij,bsj->bsi", rels, heads)
+            logits = np.einsum("bi,bsi->bs", query, rh) + (mask - 1.0) * 1e9
+            p = _softmax(logits, axis=1) * mask
+            # Eq. 25: o = sum p_i e_t
+            o = np.einsum("bs,bsd->bd", p, tails)
+            responses.append(o)
+            query = o
+        u = sum(responses)
+        expected = np.einsum("bd,bd->b", u, v)
+
+        actual = model._score_batch(users, items).numpy()
+        np.testing.assert_allclose(actual, expected, rtol=1e-10)
+
+
+class TestKGCNEquations:
+    """User-relation attention + the sum aggregator (Eq. 30)."""
+
+    def test_hop1_sum_aggregator_matches_manual(self, split):
+        train, __ = split
+        model = KGCN(hops=1, num_neighbors=4, aggregator="sum", epochs=1, seed=0)
+        model.fit(train)
+        users = np.asarray([2, 5])
+        items = np.asarray([0, 7])
+
+        u = model.user.weight.data[users]  # (B, d)
+        ent = model.entity.weight.data
+        rel = model.relation.weight.data
+
+        self_vec = ent[model._ent_hops[0][items]].reshape(2, -1)  # (B, d)
+        nbrs = ent[model._ent_hops[1][items]]  # (B, S, d)
+        rels = rel[model._rel_hops[0][items]]  # (B, S, d)
+
+        # pi = softmax over neighbors of u . r
+        logits = np.einsum("bd,bsd->bs", u, rels)
+        att = _softmax(logits, axis=1)
+        pooled = np.einsum("bs,bsd->bd", att, nbrs)
+
+        # Eq. 30 (depth 0 -> tanh nonlinearity)
+        w = model.agg_weights[0].weight.data
+        b = model.agg_weights[0].bias.data
+        v = np.tanh((self_vec + pooled) @ w + b)
+        expected = np.einsum("bd,bd->b", u, v)
+
+        actual = model._score_batch(users, items).numpy()
+        np.testing.assert_allclose(actual, expected, rtol=1e-10)
+
+    def test_attention_weights_sum_to_one(self, split):
+        train, __ = split
+        model = KGCN(hops=1, num_neighbors=5, epochs=1, seed=0).fit(train)
+        users = np.asarray([0, 1, 2])
+        rels = model._rel_hops[0][np.asarray([3, 4, 5])]
+        u = model.user(users)
+        att = model._attention(u, rels).numpy()
+        np.testing.assert_allclose(att.sum(axis=2), np.ones((3, 1)), rtol=1e-10)
+
+
+class TestCrossCompressAlgebra:
+    """MKR's cross & compress unit: C = v e^T, outputs via compressions."""
+
+    def test_matches_manual(self):
+        rng = np.random.default_rng(0)
+        unit = CrossCompress(5, seed=rng)
+        v = rng.normal(size=(3, 5))
+        e = rng.normal(size=(3, 5))
+        v_out, e_out = unit(Tensor(v), Tensor(e))
+
+        for row in range(3):
+            c = np.outer(v[row], e[row])  # (d, d)
+            expected_v = c @ unit.w_vv.data + c.T @ unit.w_ev.data + unit.b_v.data
+            expected_e = c @ unit.w_ve.data + c.T @ unit.w_ee.data + unit.b_e.data
+            np.testing.assert_allclose(v_out.numpy()[row], expected_v, rtol=1e-10)
+            np.testing.assert_allclose(e_out.numpy()[row], expected_e, rtol=1e-10)
+
+    def test_symmetry_property(self):
+        """Swapping v and e swaps the roles of the transposed compressions."""
+        rng = np.random.default_rng(1)
+        unit = CrossCompress(4, seed=rng)
+        # Make the unit symmetric: w_vv == w_ee.T-roles coincide when all
+        # four weights are equal; then swapping inputs must swap outputs.
+        shared = rng.normal(size=4)
+        for w in (unit.w_vv, unit.w_ev, unit.w_ve, unit.w_ee):
+            w.data[:] = shared
+        unit.b_v.data[:] = 0.0
+        unit.b_e.data[:] = 0.0
+        v = rng.normal(size=(2, 4))
+        e = rng.normal(size=(2, 4))
+        v1, e1 = unit(Tensor(v), Tensor(e))
+        v2, e2 = unit(Tensor(e), Tensor(v))
+        # C(e,v) = C(v,e)^T, and with equal weights the outputs swap.
+        np.testing.assert_allclose(v1.numpy(), e2.numpy(), rtol=1e-10)
+        np.testing.assert_allclose(e1.numpy(), v2.numpy(), rtol=1e-10)
+
+
+class TestMKREndToEnd:
+    def test_item_latent_uses_alignment(self, split):
+        train, __ = split
+        model = MKR(epochs=1, num_layers=1, seed=0).fit(train)
+        items = np.asarray([0, 1])
+        v = model.item.weight.data[items]
+        e = model.entity.weight.data[train.item_entities[items]]
+        expected_v, __ = model.cross[0](Tensor(v), Tensor(e))
+        actual = model._item_latent(items)
+        np.testing.assert_allclose(actual.numpy(), expected_v.numpy(), rtol=1e-10)

@@ -1,0 +1,105 @@
+"""Tests for the model registry (Table 3) and notation glossary (Table 2)."""
+
+import pytest
+
+from repro.core import notation
+from repro.core.exceptions import ConfigError
+from repro.core.registry import (
+    SURVEY_TABLE3,
+    TECHNIQUES,
+    ModelCard,
+    Usage,
+    card_for,
+    get_model_class,
+    is_implemented,
+    list_registered,
+    register_model,
+)
+import repro.models  # noqa: F401 - populate registry
+
+
+class TestSurveyTable3:
+    def test_row_count(self):
+        assert len(SURVEY_TABLE3) == 39
+
+    def test_usage_distribution(self):
+        counts = {u: 0 for u in Usage}
+        for card in SURVEY_TABLE3:
+            counts[card.usage] += 1
+        assert counts[Usage.EMBEDDING] == 14
+        assert counts[Usage.PATH] == 15
+        assert counts[Usage.UNIFIED] == 10
+
+    def test_unique_names(self):
+        names = [c.name for c in SURVEY_TABLE3]
+        assert len(set(names)) == len(names)
+
+    def test_years_in_survey_range(self):
+        for card in SURVEY_TABLE3:
+            assert 2013 <= card.year <= 2019
+
+    def test_technique_row_alignment(self):
+        card = card_for("DKN")
+        flags = dict(zip(TECHNIQUES, card.technique_row()))
+        assert flags["CNN"] and flags["Att."]
+        assert not flags["MF"]
+
+    def test_known_rows(self):
+        assert card_for("RippleNet").usage is Usage.UNIFIED
+        assert card_for("FMG").venue == "KDD"
+        assert card_for("CKE").techniques == frozenset({"AE"})
+
+    def test_invalid_technique_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelCard("X", "V", 2020, Usage.PATH, frozenset({"Quantum"}))
+
+
+class TestRegistry:
+    def test_majority_of_table3_implemented(self):
+        implemented = [c.name for c in SURVEY_TABLE3 if is_implemented(c.name)]
+        assert len(implemented) == 39
+
+    def test_lookup_roundtrip(self):
+        cls = get_model_class("RippleNet")
+        assert cls.__name__ == "RippleNet"
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigError):
+            get_model_class("NotARealModel")
+
+    def test_unknown_card(self):
+        with pytest.raises(ConfigError):
+            card_for("NotARealModel")
+
+    def test_list_by_usage(self):
+        unified = list_registered(Usage.UNIFIED)
+        assert "KGCN" in unified and "KGAT" in unified
+        assert "CKE" not in unified
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_model("RippleNet")(type("Dup", (), {}))
+
+    def test_non_table3_needs_card(self):
+        with pytest.raises(ConfigError):
+            register_model("BrandNewModel")(type("New", (), {}))
+
+    def test_baselines_not_in_table3(self):
+        assert card_for("BPR-MF").usage is Usage.BASELINE
+
+
+class TestNotation:
+    def test_row_count(self):
+        assert len(notation.TABLE2) == 19
+
+    def test_every_notation_resolves(self):
+        for item in notation.TABLE2:
+            obj = notation.resolve(item)
+            assert obj is not None
+
+    def test_interaction_matrix_notation(self):
+        row = next(n for n in notation.TABLE2 if n.symbol == "R")
+        assert "interaction" in row.description.lower()
+        from repro.core.interactions import InteractionMatrix
+
+        assert notation.resolve(row) is InteractionMatrix
