@@ -3,11 +3,28 @@
 All optimizers share the same contract: construct with the parameter list,
 call :meth:`step` after gradients were produced by ``backward``, then
 :meth:`zero_grad`.  ``weight_decay`` applies decoupled L2 shrinkage.
+
+Robustness (see :mod:`repro.runtime.guards` and ``docs/robustness.md``):
+``max_grad_norm`` clips the *global* gradient norm before each update, and
+``skip_nonfinite`` decides what happens when a NaN/Inf gradient reaches
+:meth:`step` — ``"off"`` applies it as-is (the historical behavior),
+``"skip"`` drops the whole update, ``"zero"`` repairs the bad entries, and
+``"raise"`` raises :class:`~repro.core.exceptions.TrainingDivergedError`.
+Every optimizer also exposes :meth:`state_dict`/:meth:`load_state_dict`
+so :mod:`repro.runtime.checkpoint` can snapshot and resume a run exactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.core.exceptions import TrainingDivergedError
+from repro.runtime.guards import (
+    NONFINITE_POLICIES,
+    clip_grad_norm,
+    has_nonfinite_grad,
+    zero_nonfinite_grads,
+)
 
 from .tensor import Tensor
 
@@ -15,38 +32,103 @@ __all__ = ["Optimizer", "SGD", "Adagrad", "Adam"]
 
 
 class Optimizer:
-    """Base optimizer holding the parameter list."""
+    """Base optimizer holding the parameter list and update guards."""
 
-    def __init__(self, params: list[Tensor], lr: float, weight_decay: float = 0.0) -> None:
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = None,
+        skip_nonfinite: str = "off",
+    ) -> None:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         if weight_decay < 0:
             raise ValueError("weight_decay must be non-negative")
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive")
+        if skip_nonfinite not in NONFINITE_POLICIES:
+            raise ValueError(
+                f"skip_nonfinite must be one of {NONFINITE_POLICIES}, "
+                f"got {skip_nonfinite!r}"
+            )
         self.params = list(params)
         self.lr = lr
         self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.skip_nonfinite = skip_nonfinite
+        #: Number of steps on which a non-finite gradient was encountered.
+        self.nonfinite_steps = 0
 
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
 
-    def step(self) -> None:
+    def step(self) -> bool:
+        """Apply guards, then the update; ``False`` if the step was skipped."""
+        if self.skip_nonfinite != "off" and has_nonfinite_grad(self.params):
+            self.nonfinite_steps += 1
+            if self.skip_nonfinite == "raise":
+                raise TrainingDivergedError(
+                    "non-finite gradient reached optimizer.step()"
+                )
+            if self.skip_nonfinite == "skip":
+                return False
+            zero_nonfinite_grads(self.params)
+        if self.max_grad_norm is not None:
+            clip_grad_norm(self.params, self.max_grad_norm)
+        self._apply()
+        return True
+
+    def _apply(self) -> None:
         raise NotImplementedError
 
     def _decay(self, p: Tensor) -> None:
         if self.weight_decay:
             p.data *= 1.0 - self.lr * self.weight_decay
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Mutable optimizer state as scalars and lists of arrays."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (copies arrays in place)."""
+
+    @staticmethod
+    def _copy_arrays(dst: list[np.ndarray], src: list[np.ndarray], name: str) -> None:
+        if len(dst) != len(src):
+            raise ValueError(
+                f"optimizer state {name!r} has {len(src)} arrays, expected {len(dst)}"
+            )
+        for d, s in zip(dst, src):
+            if d.shape != s.shape:
+                raise ValueError(
+                    f"optimizer state {name!r} shape mismatch: {s.shape} vs {d.shape}"
+                )
+            np.copyto(d, s)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
 
-    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
-        super().__init__(params, lr, weight_decay)
+    def __init__(
+        self,
+        params,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = None,
+        skip_nonfinite: str = "off",
+    ) -> None:
+        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _apply(self) -> None:
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -59,22 +141,42 @@ class SGD(Optimizer):
             self._decay(p)
             p.data -= self.lr * update
 
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._copy_arrays(self._velocity, state["velocity"], "velocity")
+
 
 class Adagrad(Optimizer):
     """Adagrad: per-coordinate learning rates from accumulated squares."""
 
-    def __init__(self, params, lr: float = 0.05, eps: float = 1e-10, weight_decay: float = 0.0) -> None:
-        super().__init__(params, lr, weight_decay)
+    def __init__(
+        self,
+        params,
+        lr: float = 0.05,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = None,
+        skip_nonfinite: str = "off",
+    ) -> None:
+        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _apply(self) -> None:
         for p, acc in zip(self.params, self._accum):
             if p.grad is None:
                 continue
             acc += p.grad**2
             self._decay(p)
             p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"accum": [a.copy() for a in self._accum]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._copy_arrays(self._accum, state["accum"], "accum")
 
 
 class Adam(Optimizer):
@@ -87,15 +189,17 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        max_grad_norm: float | None = None,
+        skip_nonfinite: str = "off",
     ) -> None:
-        super().__init__(params, lr, weight_decay)
+        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
-    def step(self) -> None:
+    def _apply(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
@@ -108,3 +212,15 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * p.grad**2
             self._decay(p)
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self._copy_arrays(self._m, state["m"], "m")
+        self._copy_arrays(self._v, state["v"], "v")

@@ -2,12 +2,14 @@
 
 from .dataset import Dataset
 from .exceptions import (
+    CheckpointError,
     ConfigError,
     DataError,
     EvaluationError,
     GraphError,
     KgrecError,
     NotFittedError,
+    TrainingDivergedError,
 )
 from .config import GridResult, grid_search
 from .interactions import InteractionMatrix
@@ -42,6 +44,8 @@ __all__ = [
     "GraphError",
     "NotFittedError",
     "EvaluationError",
+    "TrainingDivergedError",
+    "CheckpointError",
     "ensure_rng",
     "spawn",
     "random_split",

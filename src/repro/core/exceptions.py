@@ -30,3 +30,11 @@ class GraphError(KgrecError):
 
 class EvaluationError(KgrecError):
     """An evaluation protocol could not be carried out on the given split."""
+
+
+class TrainingDivergedError(KgrecError):
+    """A training run produced non-finite values or a runaway loss series."""
+
+
+class CheckpointError(KgrecError):
+    """A training checkpoint could not be written, read, or restored."""

@@ -9,6 +9,7 @@ the generator.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -75,8 +76,33 @@ def save_dataset(dataset: Dataset, path: str | Path) -> Path:
 
 
 def load_dataset(path: str | Path) -> Dataset:
-    """Inverse of :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Inverse of :func:`save_dataset`.
+
+    Malformed input — a truncated or non-zip file, a missing array or
+    metadata key, corrupt JSON, or a format-version mismatch — raises
+    :class:`~repro.core.exceptions.DataError` rather than leaking the
+    underlying ``KeyError``/``JSONDecodeError``/``BadZipFile``.  A missing
+    file still raises ``FileNotFoundError``.
+    """
+    try:
+        return _load_dataset(Path(path))
+    except (DataError, FileNotFoundError):
+        raise
+    except (
+        KeyError,
+        ValueError,
+        OSError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+        UnicodeDecodeError,
+    ) as exc:
+        raise DataError(
+            f"failed to load dataset archive {path}: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _load_dataset(path: Path) -> Dataset:
+    with np.load(path, allow_pickle=False) as archive:
         if "__meta__" not in archive:
             raise DataError(f"{path} is not a kgrec dataset archive")
         meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))

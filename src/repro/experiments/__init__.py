@@ -1,6 +1,14 @@
 """Experiments: table/figure regeneration and comparative studies."""
 
 from . import comparative, figure1, tables
-from .harness import run_panel, results_table
+from .harness import FailureRecord, PanelResult, results_table, run_panel
 
-__all__ = ["tables", "figure1", "comparative", "run_panel", "results_table"]
+__all__ = [
+    "tables",
+    "figure1",
+    "comparative",
+    "run_panel",
+    "results_table",
+    "PanelResult",
+    "FailureRecord",
+]

@@ -4,23 +4,96 @@ Every comparative study reduces to the same loop — generate a dataset,
 split, fit a panel of models, evaluate on identical candidate sets — which
 :func:`run_panel` implements once.  Studies in
 :mod:`repro.experiments.comparative` build on it.
+
+Panels are *fault-isolated* by default: one model diverging or crashing no
+longer aborts the whole study.  A failing entry becomes a structured
+:class:`FailureRecord` on the returned :class:`PanelResult` (which still
+behaves as the historical ``list[EvalResult]``), optionally after retries
+via :class:`~repro.runtime.retry.RetryPolicy`, and optionally replaced by
+a registered fallback baseline so downstream tables keep a row for every
+panel entry.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import time
+import traceback as traceback_module
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.dataset import Dataset
 from repro.core.recommender import Recommender
+from repro.core.registry import get_model_class
 from repro.core.splitter import random_split
 from repro.eval.evaluator import EvalResult, Evaluator
+from repro.runtime.retry import RetryPolicy
 
 from .tables import render_table
 
-__all__ = ["run_panel", "results_table", "PanelResult"]
+__all__ = ["run_panel", "results_table", "PanelResult", "FailureRecord"]
 
 
-PanelResult = list[EvalResult]
+@dataclass(frozen=True)
+class FailureRecord:
+    """Structured account of one panel entry that could not be evaluated."""
+
+    model: str
+    phase: str  # "fit" or "evaluate"
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    elapsed: float = 0.0
+    #: Name of the substituted fallback row in the results, when degradation
+    #: was enabled and succeeded.
+    fallback: str | None = None
+
+    def describe(self) -> str:
+        out = (
+            f"{self.model}: {self.phase} failed after {self.attempts} "
+            f"attempt(s) in {self.elapsed:.2f}s: {self.error_type}: {self.message}"
+        )
+        if self.fallback:
+            out += f" (fallback row: {self.fallback!r})"
+        return out
+
+
+class PanelResult(list):
+    """``list[EvalResult]`` plus the failures met while producing it."""
+
+    def __init__(self, results=(), failures: list[FailureRecord] | None = None) -> None:
+        super().__init__(results)
+        self.failures: list[FailureRecord] = list(failures or [])
+
+    @property
+    def failed_models(self) -> list[str]:
+        return [f.model for f in self.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _resolve_fallback(
+    fallback: str | Callable[[], Recommender] | None,
+) -> tuple[str, Callable[[], Recommender]] | None:
+    if fallback is None:
+        return None
+    if isinstance(fallback, str):
+        cls = get_model_class(fallback)
+        return fallback, cls
+    name = getattr(fallback, "__name__", type(fallback).__name__)
+    return name, fallback
+
+
+def _resolve_retry(retry: RetryPolicy | int | None) -> RetryPolicy:
+    if retry is None:
+        return RetryPolicy(max_attempts=1)
+    if isinstance(retry, int):
+        # No real sleeping inside a panel unless the caller asks for it.
+        return RetryPolicy(max_attempts=retry, base_delay=0.0, jitter=0.0)
+    return retry
 
 
 def run_panel(
@@ -30,27 +103,128 @@ def run_panel(
     k_values: tuple[int, ...] = (5, 10),
     max_users: int | None = 50,
     seed: int = 0,
+    *,
+    isolate: bool = True,
+    retry: RetryPolicy | int | None = None,
+    time_budget: float | None = None,
+    fallback: str | Callable[[], Recommender] | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> PanelResult:
-    """Split ``dataset`` and evaluate every model on the identical split."""
+    """Split ``dataset`` and evaluate every model on the identical split.
+
+    Parameters
+    ----------
+    isolate:
+        When true (the default), an exception from one model's
+        ``fit``/``evaluate`` is captured as a :class:`FailureRecord` instead
+        of aborting the panel.  When false, the exception propagates (with a
+        note naming the panel entry and phase).
+    retry:
+        ``None`` (single attempt), an int (that many attempts, no backoff),
+        or a full :class:`~repro.runtime.retry.RetryPolicy`.  Each attempt
+        builds a *fresh* model from the factory, so a half-trained model is
+        never refit.
+    time_budget:
+        Optional per-model wall-clock budget in seconds.  Enforcement is
+        cooperative: a model whose (successful) fit overran the budget is
+        recorded as a ``TimeBudgetExceeded`` failure rather than evaluated.
+    fallback:
+        Graceful degradation: a registered model name (e.g. ``"MostPopular"``)
+        or a zero-arg factory, substituted for an entry that failed after
+        retries.  The fallback's row is named ``"<entry> (fallback: <name>)"``
+        and recorded on the corresponding :class:`FailureRecord`.
+    clock:
+        Injection point for the time source (tests use a fake clock).
+    """
     train, test = random_split(dataset, test_fraction=test_fraction, seed=seed)
     evaluator = Evaluator(
         train, test, k_values=k_values, max_users=max_users, seed=seed
     )
-    results: PanelResult = []
+    policy = _resolve_retry(retry)
+    fallback_entry = _resolve_fallback(fallback)
+
+    results: list[EvalResult] = []
+    failures: list[FailureRecord] = []
+
     for name, factory in model_factories.items():
-        model = factory().fit(train)
-        results.append(evaluator.evaluate(model, name=name))
-    return results
+        phase = "fit"
+        attempts = 0
+        start = clock()
+
+        def fit_once() -> Recommender:
+            nonlocal attempts
+            attempts += 1
+            model = factory()
+            model.fit(train)
+            return model
+
+        try:
+            model = policy.call(fit_once)
+            elapsed = clock() - start
+            if time_budget is not None and elapsed > time_budget:
+                raise TimeoutError(
+                    f"fit took {elapsed:.2f}s, budget is {time_budget:.2f}s"
+                )
+            phase = "evaluate"
+            results.append(evaluator.evaluate(model, name=name))
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            elapsed = clock() - start
+            if not isolate:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(
+                        f"while running panel entry {name!r} (phase: {phase})"
+                    )
+                raise
+            error_type = (
+                "TimeBudgetExceeded"
+                if isinstance(exc, TimeoutError)
+                else type(exc).__name__
+            )
+            record = FailureRecord(
+                model=name,
+                phase=phase,
+                error_type=error_type,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+                attempts=attempts,
+                elapsed=elapsed,
+            )
+            if fallback_entry is not None:
+                fb_name, fb_factory = fallback_entry
+                row_name = f"{name} (fallback: {fb_name})"
+                try:
+                    fb_model = fb_factory()
+                    fb_model.fit(train)
+                    results.append(evaluator.evaluate(fb_model, name=row_name))
+                    record = dataclasses.replace(record, fallback=row_name)
+                except Exception:  # noqa: BLE001 - fallback is best-effort
+                    pass
+            failures.append(record)
+
+    return PanelResult(results, failures)
 
 
 def results_table(
-    results: PanelResult,
+    results: PanelResult | list[EvalResult],
     columns: tuple[str, ...] = ("AUC", "NDCG@10", "Recall@10", "HR@10"),
     title: str = "",
 ) -> str:
-    """Render evaluation results as an aligned text table."""
+    """Render evaluation results as an aligned text table.
+
+    A :class:`PanelResult` carrying failures renders one ``FAILED`` row per
+    failure plus a trailing ``Failures:`` block with the details.
+    """
     rows = [
         [r.model] + [f"{r.values.get(c, float('nan')):.4f}" for c in columns]
         for r in results
     ]
-    return render_table(["Model"] + list(columns), rows, title=title)
+    failures = list(getattr(results, "failures", ()))
+    for f in failures:
+        marker = f"FAILED ({f.phase}: {f.error_type})"
+        rows.append([f.model] + ([marker] + ["--"] * (len(columns) - 1) if columns else []))
+    text = render_table(["Model"] + list(columns), rows, title=title)
+    if failures:
+        lines = [text, "", "Failures:"]
+        lines.extend(f"  - {f.describe()}" for f in failures)
+        text = "\n".join(lines)
+    return text

@@ -10,6 +10,7 @@ embeddings and a differentiable triple score.
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,6 +20,9 @@ from repro.core.exceptions import ConfigError, NotFittedError
 from repro.core.rng import ensure_rng
 from repro.kg.sampling import corrupt_batch
 from repro.kg.triples import TripleStore
+
+if TYPE_CHECKING:  # pragma: no cover - import is type-only to avoid a cycle
+    from repro.runtime import TrainingRuntime
 
 __all__ = ["KGEModel"]
 
@@ -97,15 +101,46 @@ class KGEModel(nn.Module, abc.ABC):
         margin: float = 1.0,
         weight_decay: float = 1e-5,
         seed=None,
+        runtime: "TrainingRuntime | None" = None,
+        max_grad_norm: float | None = None,
+        skip_nonfinite: str = "off",
     ) -> list[float]:
-        """Train on all facts in ``store``; returns per-epoch mean loss."""
+        """Train on all facts in ``store``; returns per-epoch mean loss.
+
+        ``runtime`` threads the resilience layer through the loop (see
+        :mod:`repro.runtime` and ``docs/robustness.md``): fault injection
+        fires before each optimizer step, the divergence detector observes
+        every batch loss, and the checkpointer snapshots parameters +
+        optimizer + RNG state at epoch boundaries.  When the checkpoint
+        directory already holds a snapshot, training *resumes* from the
+        epoch after it — replaying the exact RNG stream, so an interrupted
+        run converges to bitwise-identical parameters.
+
+        ``max_grad_norm`` / ``skip_nonfinite`` are forwarded to the
+        optimizer (see :class:`repro.autograd.optim.Optimizer`).
+        """
         if store.num_triples == 0:
             raise ConfigError("cannot fit a KGE model on an empty triple store")
         rng = ensure_rng(seed if seed is not None else self._rng)
-        optimizer = Adam(self.parameters(), lr=lr, weight_decay=weight_decay)
+        params = self.parameters()
+        optimizer = Adam(
+            params,
+            lr=lr,
+            weight_decay=weight_decay,
+            max_grad_norm=max_grad_norm,
+            skip_nonfinite=skip_nonfinite,
+        )
         history: list[float] = []
+        start_epoch = 0
+        if runtime is not None:
+            snapshot = runtime.resume(params, optimizer=optimizer, rng=rng)
+            if snapshot is not None:
+                start_epoch = snapshot.step + 1
+                history = [float(v) for v in snapshot.extra.get("history", [])]
         n = store.num_triples
-        for __ in range(epochs):
+        batches_per_epoch = (n + batch_size - 1) // batch_size
+        step = start_epoch * batches_per_epoch
+        for epoch in range(start_epoch, epochs):
             perm = rng.permutation(n)
             total = 0.0
             for start in range(0, n, batch_size):
@@ -113,11 +148,21 @@ class KGEModel(nn.Module, abc.ABC):
                 loss = self._batch_loss(store, idx, rng, margin)
                 optimizer.zero_grad()
                 loss.backward()
+                if runtime is not None:
+                    runtime.before_step(step, params)
                 optimizer.step()
                 if self.normalize_entities:
                     self._renormalize()
+                if runtime is not None:
+                    runtime.observe_loss(loss.item())
                 total += loss.item() * idx.size
+                step += 1
             history.append(total / n)
+            if runtime is not None:
+                runtime.maybe_checkpoint(
+                    epoch, params, optimizer=optimizer, rng=rng,
+                    extra={"history": history},
+                )
         self._fitted = True
         return history
 

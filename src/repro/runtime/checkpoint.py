@@ -1,0 +1,253 @@
+"""Snapshot/restore of training state via ``.npz`` archives.
+
+Follows the same conventions as :mod:`repro.core.io` — one compressed
+``.npz`` per checkpoint, arrays stored natively plus a ``__meta__`` JSON
+blob for scalars.  A checkpoint captures everything an iterative ``fit``
+loop needs to resume *bitwise identically*:
+
+* parameter arrays (in ``Module.parameters()`` order),
+* optimizer state (via ``Optimizer.state_dict()``),
+* the RNG bit-generator state (so the resumed run replays the exact
+  permutation/negative-sampling stream the uninterrupted run would have),
+* a ``step`` counter and a JSON-safe ``extra`` dict (e.g. loss history).
+
+:class:`Checkpointer` adds the policy layer: periodic saves, atomic
+writes (tmp file + rename), pruning to the newest ``keep`` snapshots, and
+resume-from-latest.  All failure modes raise
+:class:`~repro.core.exceptions.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.exceptions import CheckpointError, ConfigError
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "Checkpointer"]
+
+_FORMAT_VERSION = 1
+_STEP_RE = re.compile(r"-(\d+)\.npz$")
+
+
+@dataclass
+class Checkpoint:
+    """In-memory form of one saved training snapshot."""
+
+    step: int
+    params: list[np.ndarray]
+    optimizer_state: dict | None = None
+    rng_state: dict | None = None
+    extra: dict = field(default_factory=dict)
+
+    def restore(self, params, optimizer=None, rng=None) -> "Checkpoint":
+        """Copy saved state back into live objects (in place).
+
+        ``params`` is a list of tensors (``.data`` arrays are overwritten),
+        ``optimizer`` anything with ``load_state_dict``, ``rng`` a NumPy
+        ``Generator`` whose bit-generator state is replaced.
+        """
+        if len(params) != len(self.params):
+            raise CheckpointError(
+                f"checkpoint has {len(self.params)} parameters, "
+                f"model has {len(params)}"
+            )
+        for pos, (p, saved) in enumerate(zip(params, self.params)):
+            if p.data.shape != saved.shape:
+                raise CheckpointError(
+                    f"parameter {pos} shape mismatch: "
+                    f"model {p.data.shape} vs checkpoint {saved.shape}"
+                )
+            np.copyto(p.data, saved)
+        if optimizer is not None and self.optimizer_state is not None:
+            optimizer.load_state_dict(self.optimizer_state)
+        if rng is not None and self.rng_state is not None:
+            rng.bit_generator.state = self.rng_state
+        return self
+
+
+def _split_state(state: dict) -> tuple[dict, dict]:
+    """Partition an optimizer state dict into (scalars, array-lists)."""
+    scalars: dict = {}
+    arrays: dict = {}
+    for key, value in state.items():
+        if isinstance(value, list) and all(isinstance(a, np.ndarray) for a in value):
+            arrays[key] = value
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            scalars[key] = value
+        else:
+            raise CheckpointError(
+                f"optimizer state entry {key!r} is neither a scalar nor a "
+                "list of arrays"
+            )
+    return scalars, arrays
+
+
+def save_checkpoint(
+    path: str | Path,
+    params,
+    optimizer=None,
+    step: int = 0,
+    rng: np.random.Generator | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write one checkpoint archive to ``path`` (atomic) and return it."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {
+        "version": _FORMAT_VERSION,
+        "step": int(step),
+        "num_params": 0,
+        "extra": dict(extra or {}),
+    }
+    for pos, p in enumerate(params):
+        arrays[f"param__{pos:04d}"] = np.asarray(p.data)
+        meta["num_params"] = pos + 1
+    if optimizer is not None:
+        scalars, arr_lists = _split_state(optimizer.state_dict())
+        meta["optimizer"] = {"type": type(optimizer).__name__, "scalars": scalars,
+                             "array_keys": {k: len(v) for k, v in arr_lists.items()}}
+        for key, lst in arr_lists.items():
+            for pos, arr in enumerate(lst):
+                arrays[f"opt__{key}__{pos:04d}"] = arr
+    if rng is not None:
+        meta["rng_state"] = rng.bit_generator.state
+    try:
+        blob = json.dumps(meta)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint metadata is not JSON-safe: {exc}") from exc
+    arrays["__meta__"] = np.frombuffer(blob.encode("utf-8"), dtype=np.uint8)
+
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise CheckpointError(f"failed to write checkpoint {path}: {exc}") from exc
+    return path
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a checkpoint archive written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "__meta__" not in archive:
+                raise CheckpointError(f"{path} is not a checkpoint archive")
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+            if meta.get("version") != _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {meta.get('version')!r}"
+                )
+            params = [
+                archive[f"param__{pos:04d}"] for pos in range(meta["num_params"])
+            ]
+            optimizer_state = None
+            if "optimizer" in meta:
+                opt_meta = meta["optimizer"]
+                optimizer_state = dict(opt_meta["scalars"])
+                optimizer_state["type"] = opt_meta["type"]
+                for key, count in opt_meta["array_keys"].items():
+                    optimizer_state[key] = [
+                        archive[f"opt__{key}__{pos:04d}"] for pos in range(count)
+                    ]
+            return Checkpoint(
+                step=int(meta["step"]),
+                params=params,
+                optimizer_state=optimizer_state,
+                rng_state=meta.get("rng_state"),
+                extra=dict(meta.get("extra", {})),
+            )
+    except CheckpointError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile,
+            json.JSONDecodeError) as exc:
+        raise CheckpointError(f"failed to load checkpoint {path}: {exc}") from exc
+
+
+class Checkpointer:
+    """Periodic checkpointing into a directory, newest-``keep`` retained.
+
+    ``every`` is measured in whatever unit the caller passes as ``step``
+    (epochs in :meth:`KGEModel.fit <repro.kge.base.KGEModel.fit>`).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        every: int = 1,
+        keep: int = 3,
+        prefix: str = "ckpt",
+    ) -> None:
+        if every < 1:
+            raise ConfigError("checkpoint interval 'every' must be >= 1")
+        if keep < 1:
+            raise ConfigError("'keep' must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = every
+        self.keep = keep
+        self.prefix = prefix
+
+    # ------------------------------------------------------------------ #
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:08d}.npz"
+
+    def paths(self) -> list[Path]:
+        """Existing checkpoint paths, oldest first."""
+        found = []
+        for p in self.directory.glob(f"{self.prefix}-*.npz"):
+            m = _STEP_RE.search(p.name)
+            if m:
+                found.append((int(m.group(1)), p))
+        return [p for __, p in sorted(found)]
+
+    def latest_path(self) -> Path | None:
+        paths = self.paths()
+        return paths[-1] if paths else None
+
+    # ------------------------------------------------------------------ #
+    def save(self, step, params, optimizer=None, rng=None, extra=None) -> Path:
+        path = save_checkpoint(
+            self._path_for(step), params, optimizer=optimizer, step=step,
+            rng=rng, extra=extra,
+        )
+        self._prune()
+        return path
+
+    def maybe_save(self, step, params, optimizer=None, rng=None, extra=None) -> Path | None:
+        """Save when ``(step + 1) % every == 0`` (steps are 0-based)."""
+        if (step + 1) % self.every != 0:
+            return None
+        return self.save(step, params, optimizer=optimizer, rng=rng, extra=extra)
+
+    def _prune(self) -> None:
+        paths = self.paths()
+        for stale in paths[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # ------------------------------------------------------------------ #
+    def load_latest(self) -> Checkpoint | None:
+        """The newest checkpoint, or ``None`` when the directory is empty."""
+        path = self.latest_path()
+        return load_checkpoint(path) if path is not None else None
+
+    def restore_latest(self, params, optimizer=None, rng=None) -> Checkpoint | None:
+        """Load and apply the newest checkpoint; returns it (or ``None``)."""
+        checkpoint = self.load_latest()
+        if checkpoint is not None:
+            checkpoint.restore(params, optimizer=optimizer, rng=rng)
+        return checkpoint

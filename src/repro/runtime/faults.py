@@ -1,0 +1,121 @@
+"""Deterministic fault injection for exercising the resilience layer.
+
+Every guard in :mod:`repro.runtime` must be testable without flaky sleeps
+or monkey-patched randomness, so faults are *planned*: a
+:class:`FaultPlan` maps global step indices to fault kinds, either listed
+explicitly or drawn once from a seeded RNG.  A :class:`FaultInjector`
+executes the plan inside a training loop — called with the current step
+and parameter list right before ``optimizer.step()``:
+
+* ``"nan_grad"`` — overwrite every gradient with NaN (exercises the
+  ``skip_nonfinite`` policies and :class:`~repro.runtime.guards.DivergenceDetector`),
+* ``"raise"`` — raise :class:`InjectedFault` mid-epoch (exercises retry,
+  panel isolation, and checkpoint/resume),
+* ``"stall"`` — invoke the injector's ``sleep`` callable for
+  ``Fault.seconds`` (exercises time budgets; tests pass a fake clock's
+  ``advance`` so nothing actually sleeps).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.exceptions import ConfigError
+from repro.core.rng import ensure_rng
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultInjector", "InjectedFault"]
+
+FAULT_KINDS: tuple[str, ...] = ("nan_grad", "raise", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a planned ``"raise"`` fault (deliberately *not* a KgrecError,
+    mimicking an arbitrary crash escaping a model's ``fit``)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault at a global step index."""
+
+    step: int
+    kind: str
+    seconds: float = 0.0  # stall duration; ignored for other kinds
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.step < 0:
+            raise ConfigError("fault step must be >= 0")
+
+
+class FaultPlan:
+    """An immutable schedule of faults, queryable by step."""
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._by_step: dict[int, list[Fault]] = {}
+        for fault in faults:
+            self._by_step.setdefault(fault.step, []).append(fault)
+
+    @classmethod
+    def random(
+        cls,
+        num_steps: int,
+        rate: float = 0.05,
+        kinds: tuple[str, ...] = ("nan_grad",),
+        seed: int = 0,
+        seconds: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded random plan: each step faults with probability ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError("rate must lie in [0, 1]")
+        rng = ensure_rng(seed)
+        faults = []
+        for step in range(num_steps):
+            if rng.random() < rate:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                faults.append(Fault(step=step, kind=kind, seconds=seconds))
+        return cls(faults)
+
+    def at(self, step: int) -> list[Fault]:
+        return self._by_step.get(step, [])
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_step.values())
+
+    def __iter__(self):
+        for step in sorted(self._by_step):
+            yield from self._by_step[step]
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` inside a training loop.
+
+    Call :meth:`before_step` with the global step index and the parameter
+    list right after ``backward()`` and before ``optimizer.step()``.
+    ``injected`` records every fault that fired, in order.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self.sleep = sleep
+        self.injected: list[Fault] = []
+
+    def before_step(self, step: int, params=()) -> None:
+        for fault in self.plan.at(step):
+            self.injected.append(fault)
+            if fault.kind == "nan_grad":
+                for p in params:
+                    if p.grad is not None:
+                        p.grad[...] = np.nan
+            elif fault.kind == "stall":
+                self.sleep(fault.seconds)
+            else:  # "raise"
+                raise InjectedFault(f"injected fault at step {step}")

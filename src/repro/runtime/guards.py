@@ -1,0 +1,153 @@
+"""Numerical guards for gradient-driven training loops.
+
+The functions here operate on anything with ``.data`` / ``.grad`` NumPy
+array attributes (``autograd.Tensor``/``nn.Parameter``), so the autograd
+package can depend on this module without a cycle.  Three layers of
+protection:
+
+* **Gradient hygiene** — :func:`has_nonfinite_grad`,
+  :func:`zero_nonfinite_grads`, and global-norm :func:`clip_grad_norm`
+  keep a single exploding batch from destroying the parameters.
+* **Parameter hygiene** — :func:`check_finite_params` catches corruption
+  *after* it happened (e.g. a bad update that slipped through).
+* **Loss watching** — :class:`DivergenceDetector` observes the loss series
+  and raises :class:`~repro.core.exceptions.TrainingDivergedError` once
+  the run is beyond saving, instead of letting it burn epochs on NaNs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.exceptions import ConfigError, TrainingDivergedError
+
+__all__ = [
+    "grad_norm",
+    "clip_grad_norm",
+    "has_nonfinite_grad",
+    "zero_nonfinite_grads",
+    "check_finite_params",
+    "NONFINITE_POLICIES",
+    "DivergenceDetector",
+]
+
+#: Valid values for the optimizers' ``skip_nonfinite`` option.
+NONFINITE_POLICIES: tuple[str, ...] = ("off", "skip", "zero", "raise")
+
+
+def grad_norm(params) -> float:
+    """Global L2 norm over all gradients (params without grads contribute 0)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad * p.grad))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  A non-finite norm leaves gradients
+    untouched (the nonfinite policy, not clipping, decides what happens).
+    """
+    if max_norm <= 0:
+        raise ConfigError("max_grad_norm must be positive")
+    norm = grad_norm(params)
+    if math.isfinite(norm) and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+def has_nonfinite_grad(params) -> bool:
+    """Whether any gradient contains NaN or +/-Inf."""
+    return any(
+        p.grad is not None and not np.isfinite(p.grad).all() for p in params
+    )
+
+
+def zero_nonfinite_grads(params) -> int:
+    """Replace NaN/Inf gradient entries with 0 in place; returns entry count."""
+    repaired = 0
+    for p in params:
+        if p.grad is None:
+            continue
+        bad = ~np.isfinite(p.grad)
+        if bad.any():
+            repaired += int(bad.sum())
+            p.grad[bad] = 0.0
+    return repaired
+
+
+def check_finite_params(params, context: str = "") -> None:
+    """Raise :class:`TrainingDivergedError` if any parameter is non-finite."""
+    for pos, p in enumerate(params):
+        if not np.isfinite(p.data).all():
+            where = f" during {context}" if context else ""
+            raise TrainingDivergedError(
+                f"parameter {pos} contains non-finite values{where}"
+            )
+
+
+class DivergenceDetector:
+    """Watches a loss series and raises once training has diverged.
+
+    An update is *bad* when the loss is non-finite, or when it exceeds
+    ``growth_factor`` times the best finite loss seen so far (with ``floor``
+    guarding against spurious trips when the best loss is near zero).
+    ``patience`` consecutive bad updates raise
+    :class:`~repro.core.exceptions.TrainingDivergedError`; any good update
+    resets the streak.
+
+    Use as a passthrough: ``loss = detector.update(loss)``.
+    """
+
+    def __init__(
+        self,
+        patience: int = 5,
+        growth_factor: float = 10.0,
+        floor: float = 1e-3,
+    ) -> None:
+        if patience < 1:
+            raise ConfigError("patience must be >= 1")
+        if growth_factor <= 1.0:
+            raise ConfigError("growth_factor must be > 1")
+        self.patience = patience
+        self.growth_factor = growth_factor
+        self.floor = floor
+        self.best: float | None = None
+        self.bad_streak = 0
+        self.num_updates = 0
+
+    def _is_bad(self, loss: float) -> bool:
+        if not math.isfinite(loss):
+            return True
+        if self.best is None:
+            return False
+        return loss > self.growth_factor * max(abs(self.best), self.floor)
+
+    def update(self, loss: float) -> float:
+        """Observe one loss value; raises when patience is exhausted."""
+        loss = float(loss)
+        self.num_updates += 1
+        if self._is_bad(loss):
+            self.bad_streak += 1
+            if self.bad_streak >= self.patience:
+                raise TrainingDivergedError(
+                    f"loss diverged: {self.bad_streak} consecutive bad updates "
+                    f"(last loss {loss!r}, best {self.best!r})"
+                )
+        else:
+            self.bad_streak = 0
+            if self.best is None or loss < self.best:
+                self.best = loss
+        return loss
+
+    def reset(self) -> None:
+        self.best = None
+        self.bad_streak = 0
+        self.num_updates = 0

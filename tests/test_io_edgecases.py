@@ -62,6 +62,63 @@ class TestDatasetIO:
         with pytest.raises(DataError):
             load_dataset(path)
 
+    def test_not_a_zip_raises_data_error(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_truncated_archive_raises_data_error(self, tmp_path):
+        original = make_movie_dataset(seed=0, num_users=10, num_items=15)
+        path = tmp_path / "full.npz"
+        save_dataset(original, path)
+        blob = path.read_bytes()
+        truncated = tmp_path / "cut.npz"
+        truncated.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(DataError):
+            load_dataset(truncated)
+
+    def test_version_mismatch_raises_data_error(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.npz"
+        meta = {"version": 999, "name": "x", "extra": {},
+                "num_users": 1, "num_items": 1}
+        np.savez(
+            path,
+            interaction_pairs=np.zeros((1, 2), dtype=np.int64),
+            __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+        with pytest.raises(DataError, match="version"):
+            load_dataset(path)
+
+    def test_corrupt_meta_json_raises_data_error(self, tmp_path):
+        path = tmp_path / "badmeta.npz"
+        np.savez(
+            path,
+            interaction_pairs=np.zeros((1, 2), dtype=np.int64),
+            __meta__=np.frombuffer(b"{not json", dtype=np.uint8),
+        )
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_missing_array_raises_data_error(self, tmp_path):
+        import json
+
+        path = tmp_path / "noarrays.npz"
+        meta = {"version": 1, "name": "x", "extra": {},
+                "num_users": 1, "num_items": 1}
+        np.savez(
+            path,
+            __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz")
+
     def test_restored_dataset_trains_models(self, tmp_path):
         from repro.core.splitter import random_split
         from repro.models.unified import KGCN

@@ -1,0 +1,277 @@
+"""Fault isolation, retries, budgets, and degradation in ``run_panel``."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.recommender import Recommender
+from repro.experiments.harness import (
+    FailureRecord,
+    PanelResult,
+    results_table,
+    run_panel,
+)
+from repro.kg.triples import TripleStore
+from repro.kge import TransE
+from repro.models.baselines import MostPopular, Random
+from repro.runtime import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    TrainingRuntime,
+)
+
+
+class Crashes(Recommender):
+    """Raises during fit (optionally only the first ``fail_times`` calls)."""
+
+    attempts = itertools.count()  # class-level so fresh factory builds share it
+
+    def __init__(self, fail_times: int | None = None) -> None:
+        super().__init__()
+        self._fail_times = fail_times
+
+    def fit(self, dataset: Dataset) -> "Crashes":
+        n = next(type(self).attempts)
+        if self._fail_times is None or n < self._fail_times:
+            raise RuntimeError("model exploded during fit")
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        return np.zeros(self.fitted_dataset.num_items)
+
+
+class BadScorer(Recommender):
+    """Fits fine, crashes at evaluation time."""
+
+    def fit(self, dataset: Dataset) -> "BadScorer":
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        raise ValueError("scores unavailable")
+
+
+class KGEBacked(Recommender):
+    """A gradient-trained panel entry: TransE over the dataset's KG.
+
+    Scores items by proximity of their entity embedding to the centroid of
+    the user's training items — crude, but exercises a real autograd +
+    optimizer loop inside the panel, which is what the fault injector and
+    the ``skip_nonfinite`` guard need.
+    """
+
+    requires_kg = True
+
+    def __init__(self, injector: FaultInjector | None = None, epochs: int = 2) -> None:
+        super().__init__()
+        self._injector = injector
+        self._epochs = epochs
+        self._item_emb: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "KGEBacked":
+        store: TripleStore = dataset.kg.store
+        model = TransE(dataset.kg.num_entities, dataset.kg.num_relations,
+                       dim=6, seed=0)
+        model.fit(
+            store, epochs=self._epochs, seed=0,
+            runtime=TrainingRuntime(faults=self._injector),
+            skip_nonfinite="skip",
+        )
+        self._item_emb = model.entity_embeddings()[dataset.item_entities]
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        items = self.fitted_dataset.interactions.items_of(user_id)
+        centroid = (
+            self._item_emb[items].mean(axis=0)
+            if items.size
+            else self._item_emb.mean(axis=0)
+        )
+        return -np.linalg.norm(self._item_emb - centroid, axis=1)
+
+
+@pytest.fixture(autouse=True)
+def _reset_crash_counter():
+    Crashes.attempts = itertools.count()
+
+
+class TestIsolation:
+    def test_failure_becomes_record_not_crash(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"pop": lambda: MostPopular(), "boom": lambda: Crashes()},
+            max_users=8,
+            seed=0,
+        )
+        assert isinstance(panel, PanelResult)
+        assert [r.model for r in panel] == ["pop"]
+        assert len(panel.failures) == 1
+        record = panel.failures[0]
+        assert record.model == "boom"
+        assert record.phase == "fit"
+        assert record.error_type == "RuntimeError"
+        assert "exploded" in record.message
+        assert "RuntimeError" in record.traceback
+        assert not panel.ok
+
+    def test_evaluate_phase_failure_recorded(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset, {"bad": lambda: BadScorer()}, max_users=8, seed=0
+        )
+        assert panel.failures[0].phase == "evaluate"
+        assert panel.failures[0].error_type == "ValueError"
+
+    def test_isolate_false_propagates_with_model_name(self, movie_dataset):
+        with pytest.raises(RuntimeError) as excinfo:
+            run_panel(
+                movie_dataset,
+                {"pop": lambda: MostPopular(), "boom": lambda: Crashes()},
+                max_users=8,
+                seed=0,
+                isolate=False,
+            )
+        assert any("'boom'" in note for note in excinfo.value.__notes__)
+
+    def test_healthy_panel_matches_legacy_behavior(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset, {"pop": lambda: MostPopular()}, max_users=8, seed=0
+        )
+        assert panel.ok
+        assert panel.failures == []
+        assert len(panel) == 1
+
+
+class TestRetryAndBudget:
+    def test_flaky_model_recovers_with_retry(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"flaky": lambda: Crashes(fail_times=2)},
+            max_users=8,
+            seed=0,
+            retry=3,
+        )
+        assert panel.ok
+        assert [r.model for r in panel] == ["flaky"]
+
+    def test_attempt_count_recorded_on_exhaustion(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"boom": lambda: Crashes()},
+            max_users=8,
+            seed=0,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                              sleep=lambda s: None),
+        )
+        assert panel.failures[0].attempts == 3
+
+    def test_time_budget_exceeded(self, movie_dataset):
+        ticks = itertools.count(step=30.0)
+        panel = run_panel(
+            movie_dataset,
+            {"slow": lambda: MostPopular()},
+            max_users=8,
+            seed=0,
+            time_budget=10.0,
+            clock=lambda: float(next(ticks)),
+        )
+        assert panel.failures[0].error_type == "TimeBudgetExceeded"
+        assert list(panel) == []
+
+
+class TestDegradation:
+    def test_registered_fallback_substitutes_row(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"pop": lambda: MostPopular(), "boom": lambda: Crashes()},
+            max_users=8,
+            seed=0,
+            fallback="MostPopular",
+        )
+        names = [r.model for r in panel]
+        assert names == ["pop", "boom (fallback: MostPopular)"]
+        assert panel.failures[0].fallback == "boom (fallback: MostPopular)"
+        # The fallback row really is MostPopular evaluated on the same split.
+        assert panel[1].values == panel[0].values
+
+    def test_callable_fallback(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"boom": lambda: Crashes()},
+            max_users=8,
+            seed=0,
+            fallback=lambda: Random(seed=0),
+        )
+        assert len(panel) == 1
+        assert "fallback" in panel[0].model
+
+
+class TestFailureTable:
+    def test_failures_render_in_results_table(self, movie_dataset):
+        panel = run_panel(
+            movie_dataset,
+            {"pop": lambda: MostPopular(), "boom": lambda: Crashes()},
+            max_users=8,
+            seed=0,
+        )
+        text = results_table(panel, columns=("AUC", "NDCG@10"))
+        assert "FAILED (fit: RuntimeError)" in text
+        assert "Failures:" in text
+        assert "boom" in text
+
+    def test_plain_list_still_renders(self, movie_dataset):
+        results = list(
+            run_panel(movie_dataset, {"pop": lambda: MostPopular()},
+                      max_users=8, seed=0)
+        )
+        text = results_table(results, columns=("AUC",))
+        assert "Failures:" not in text
+
+
+class TestAcceptancePanel:
+    def test_mixed_fault_panel_completes_end_to_end(self, movie_dataset):
+        """ISSUE 1 acceptance: 4+ models, one raising, one with NaN gradients.
+
+        The panel must finish, return rows for every healthy model, keep a
+        structured record (plus a fallback row) for the crashed one, and the
+        NaN-injected gradient model must survive via the skip policy.
+        """
+        nan_injector = FaultInjector(
+            FaultPlan([Fault(step=0, kind="nan_grad"),
+                       Fault(step=1, kind="nan_grad")])
+        )
+        panel = run_panel(
+            movie_dataset,
+            {
+                "MostPopular": lambda: MostPopular(),
+                "Random": lambda: Random(seed=0),
+                "KGE-NaN": lambda: KGEBacked(injector=nan_injector),
+                "Crasher": lambda: Crashes(),
+            },
+            max_users=8,
+            seed=0,
+            retry=2,
+            fallback="MostPopular",
+        )
+        names = [r.model for r in panel]
+        assert names == [
+            "MostPopular",
+            "Random",
+            "KGE-NaN",
+            "Crasher (fallback: MostPopular)",
+        ]
+        assert len(panel.failures) == 1
+        record = panel.failures[0]
+        assert record.model == "Crasher"
+        assert record.attempts == 2
+        assert record.fallback == "Crasher (fallback: MostPopular)"
+        # NaN faults really fired and were survived.
+        assert len(nan_injector.injected) >= 2
+        assert np.isfinite(panel[2].values["AUC"])
+        text = results_table(panel)
+        assert "FAILED" in text

@@ -1,0 +1,420 @@
+"""Tests for the resilient training runtime (guards, retry, checkpoint, faults)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, SGD
+from repro.autograd.nn import Parameter
+from repro.core.exceptions import (
+    CheckpointError,
+    ConfigError,
+    TrainingDivergedError,
+)
+from repro.kg.triples import TripleStore
+from repro.kge import TransE
+from repro.runtime import (
+    Checkpointer,
+    DivergenceDetector,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    TrainingRuntime,
+    clip_grad_norm,
+    grad_norm,
+    has_nonfinite_grad,
+    load_checkpoint,
+    save_checkpoint,
+    zero_nonfinite_grads,
+)
+
+
+def _params(*arrays):
+    out = []
+    for a in arrays:
+        p = Parameter(np.asarray(a, dtype=np.float64))
+        p.grad = np.zeros_like(p.data)
+        out.append(p)
+    return out
+
+
+@pytest.fixture(scope="module")
+def small_store():
+    """A tiny deterministic KG for fast TransE runs."""
+    rng = np.random.default_rng(3)
+    triples = [(int(rng.integers(12)), int(rng.integers(2)), int(rng.integers(12)))
+               for __ in range(30)]
+    return TripleStore.from_triples(triples, 12, 2)
+
+
+# ---------------------------------------------------------------------- #
+# guards
+# ---------------------------------------------------------------------- #
+class TestGuards:
+    def test_grad_norm_and_clip(self):
+        (p,) = _params([3.0, 4.0])
+        p.grad[:] = [3.0, 4.0]
+        assert grad_norm([p]) == pytest.approx(5.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert grad_norm([p]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_below_threshold(self):
+        (p,) = _params([1.0, 0.0])
+        p.grad[:] = [0.3, 0.4]
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_nonfinite_detection_and_repair(self):
+        a, b = _params([1.0, 2.0], [3.0])
+        a.grad[:] = [np.nan, 1.0]
+        assert has_nonfinite_grad([a, b])
+        repaired = zero_nonfinite_grads([a, b])
+        assert repaired == 1
+        assert not has_nonfinite_grad([a, b])
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_divergence_detector_nonfinite_patience(self):
+        det = DivergenceDetector(patience=3)
+        det.update(1.0)
+        det.update(float("nan"))
+        det.update(float("inf"))
+        with pytest.raises(TrainingDivergedError):
+            det.update(float("nan"))
+
+    def test_divergence_detector_growth(self):
+        det = DivergenceDetector(patience=2, growth_factor=10.0)
+        det.update(1.0)
+        det.update(50.0)  # bad, streak 1
+        with pytest.raises(TrainingDivergedError):
+            det.update(60.0)  # bad, streak 2
+
+    def test_divergence_streak_resets_on_good_update(self):
+        det = DivergenceDetector(patience=2, growth_factor=10.0)
+        det.update(1.0)
+        det.update(50.0)
+        det.update(0.9)  # recovers
+        det.update(50.0)  # streak restarts at 1, no raise
+        assert det.bad_streak == 1
+
+    def test_detector_validates_config(self):
+        with pytest.raises(ConfigError):
+            DivergenceDetector(patience=0)
+        with pytest.raises(ConfigError):
+            DivergenceDetector(growth_factor=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# guarded optimizers
+# ---------------------------------------------------------------------- #
+class TestOptimizerGuards:
+    def test_skip_policy_drops_the_update(self):
+        (p,) = _params([1.0, 2.0])
+        opt = Adam([p], lr=0.1, skip_nonfinite="skip")
+        p.grad[:] = [np.nan, 1.0]
+        assert opt.step() is False
+        np.testing.assert_allclose(p.data, [1.0, 2.0])
+        assert opt.nonfinite_steps == 1
+        assert opt._t == 0  # skipped steps must not advance bias correction
+
+    def test_zero_policy_repairs_and_applies(self):
+        (p,) = _params([1.0, 2.0])
+        opt = SGD([p], lr=0.5, skip_nonfinite="zero")
+        p.grad[:] = [np.inf, 1.0]
+        assert opt.step() is True
+        np.testing.assert_allclose(p.data, [1.0, 1.5])  # only finite coord moved
+
+    def test_raise_policy(self):
+        (p,) = _params([1.0])
+        opt = SGD([p], lr=0.1, skip_nonfinite="raise")
+        p.grad[:] = [np.nan]
+        with pytest.raises(TrainingDivergedError):
+            opt.step()
+
+    def test_off_policy_preserves_legacy_behavior(self):
+        (p,) = _params([1.0])
+        opt = SGD([p], lr=0.1)
+        p.grad[:] = [np.nan]
+        opt.step()
+        assert np.isnan(p.data).all()
+
+    def test_max_grad_norm_clips(self):
+        (p,) = _params([0.0, 0.0])
+        opt = SGD([p], lr=1.0, max_grad_norm=1.0)
+        p.grad[:] = [30.0, 40.0]
+        opt.step()
+        assert np.linalg.norm(p.data) == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_policy_rejected(self):
+        (p,) = _params([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, skip_nonfinite="maybe")
+
+
+# ---------------------------------------------------------------------- #
+# retry
+# ---------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.5,
+                             seed=7, sleep=sleeps.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        a = RetryPolicy(max_attempts=4, base_delay=0.5, seed=13, sleep=lambda s: None)
+        b = RetryPolicy(max_attempts=4, base_delay=0.5, seed=13, sleep=lambda s: None)
+        assert a.delays() == b.delays()
+        assert a.delays() == a.delays()  # reusable, restarts the stream
+        c = RetryPolicy(max_attempts=4, base_delay=0.5, seed=14)
+        assert a.delays() != c.delays()
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             sleep=lambda s: None)
+        with pytest.raises(ValueError, match="always"):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("always")))
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0,
+                             retry_on=OSError, sleep=lambda s: None)
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            policy.call(wrong_kind)
+        assert len(calls) == 1
+
+    def test_decorator_form(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             sleep=lambda s: None)
+        state = {"n": 0}
+
+        @policy
+        def sometimes():
+            state["n"] += 1
+            if state["n"] == 1:
+                raise RuntimeError("first time fails")
+            return state["n"]
+
+        assert sometimes() == 2
+
+    def test_attempt_loop_form(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                             sleep=lambda s: None)
+        tries = []
+        for attempt in policy:
+            with attempt:
+                tries.append(attempt.number)
+                if attempt.number < 2:
+                    raise OSError("flaky")
+        assert tries == [1, 2]
+
+    def test_per_attempt_deadline_stops_retrying(self):
+        # Fake clock: each attempt appears to take 100s against a 10s deadline.
+        ticks = iter(range(0, 10_000, 100))
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.0, jitter=0.0, deadline=10.0,
+            sleep=lambda s: None, clock=lambda: float(next(ticks)),
+        )
+        calls = []
+
+        def slow_and_broken():
+            calls.append(1)
+            raise OSError("too slow anyway")
+
+        with pytest.raises(OSError):
+            policy.call(slow_and_broken)
+        assert len(calls) == 1  # not worth retrying an over-deadline attempt
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline=0.0)
+
+
+# ---------------------------------------------------------------------- #
+# checkpointing
+# ---------------------------------------------------------------------- #
+class TestCheckpoint:
+    def test_roundtrip_params_optimizer_rng(self, tmp_path):
+        params = _params([1.0, 2.0], [[3.0], [4.0]])
+        opt = Adam(params, lr=0.1)
+        params[0].grad[:] = [0.1, 0.2]
+        params[1].grad[:] = [[0.3], [0.4]]
+        opt.step()
+        rng = np.random.default_rng(5)
+        rng.random(7)  # advance the stream
+
+        path = save_checkpoint(tmp_path / "c.npz", params, optimizer=opt,
+                               step=4, rng=rng, extra={"history": [1.0, 0.5]})
+        ck = load_checkpoint(path)
+        assert ck.step == 4
+        assert ck.extra["history"] == [1.0, 0.5]
+
+        fresh = _params([0.0, 0.0], [[0.0], [0.0]])
+        fresh_opt = Adam(fresh, lr=0.1)
+        fresh_rng = np.random.default_rng(0)
+        ck.restore(fresh, optimizer=fresh_opt, rng=fresh_rng)
+        np.testing.assert_array_equal(fresh[0].data, params[0].data)
+        np.testing.assert_array_equal(fresh_opt._m[1], opt._m[1])
+        assert fresh_opt._t == opt._t
+        assert fresh_rng.random() == rng.random()
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        params = _params([1.0, 2.0])
+        path = save_checkpoint(tmp_path / "c.npz", params)
+        with pytest.raises(CheckpointError, match="shape"):
+            load_checkpoint(path).restore(_params([0.0, 0.0, 0.0]))
+
+    def test_corrupt_archive_raises_checkpoint_error(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(bad)
+
+    def test_checkpointer_interval_and_prune(self, tmp_path):
+        params = _params([1.0])
+        ck = Checkpointer(tmp_path, every=2, keep=2)
+        saved = [ck.maybe_save(step, params) for step in range(8)]
+        # 0-based steps: saves fire at steps 1, 3, 5, 7
+        assert [s is not None for s in saved] == [False, True] * 4
+        assert len(ck.paths()) == 2  # pruned to the newest two
+        assert ck.latest_path().name.endswith("00000007.npz")
+        assert ck.load_latest().step == 7
+
+    def test_restore_latest_empty_directory(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        assert ck.restore_latest(_params([1.0])) is None
+
+
+# ---------------------------------------------------------------------- #
+# fault injection
+# ---------------------------------------------------------------------- #
+class TestFaults:
+    def test_plan_is_deterministic(self):
+        a = FaultPlan.random(num_steps=100, rate=0.2, seed=9)
+        b = FaultPlan.random(num_steps=100, rate=0.2, seed=9)
+        assert [(f.step, f.kind) for f in a] == [(f.step, f.kind) for f in b]
+        assert len(a) > 0
+
+    def test_nan_grad_fault(self):
+        (p,) = _params([1.0, 2.0])
+        p.grad[:] = [0.5, 0.5]
+        injector = FaultInjector(FaultPlan([Fault(step=3, kind="nan_grad")]))
+        injector.before_step(2, [p])
+        assert not has_nonfinite_grad([p])
+        injector.before_step(3, [p])
+        assert np.isnan(p.grad).all()
+        assert len(injector.injected) == 1
+
+    def test_raise_fault(self):
+        injector = FaultInjector(FaultPlan([Fault(step=0, kind="raise")]))
+        with pytest.raises(InjectedFault):
+            injector.before_step(0)
+
+    def test_stall_fault_uses_injected_sleep(self):
+        stalls = []
+        injector = FaultInjector(
+            FaultPlan([Fault(step=1, kind="stall", seconds=42.0)]),
+            sleep=stalls.append,
+        )
+        injector.before_step(1)
+        assert stalls == [42.0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Fault(step=0, kind="explode")
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: the runtime threaded through a KGE fit loop
+# ---------------------------------------------------------------------- #
+class TestKGERuntimeIntegration:
+    def test_nan_faults_survived_with_skip_policy(self, small_store):
+        plan = FaultPlan([Fault(step=2, kind="nan_grad"),
+                          Fault(step=5, kind="nan_grad")])
+        injector = FaultInjector(plan)
+        model = TransE(12, 2, dim=6, seed=0)
+        history = model.fit(
+            small_store, epochs=8, seed=0,
+            runtime=TrainingRuntime(faults=injector),
+            skip_nonfinite="skip",
+        )
+        assert len(injector.injected) == 2
+        assert np.isfinite(model.entity.weight.data).all()
+        assert all(np.isfinite(history))
+
+    def test_divergence_detector_raises_on_injected_nans(self, small_store):
+        # Without a skip policy the NaN gradients poison the parameters and
+        # therefore the loss; the detector must pull the plug.
+        plan = FaultPlan([Fault(step=s, kind="nan_grad") for s in range(2, 8)])
+        runtime = TrainingRuntime(
+            divergence=DivergenceDetector(patience=2),
+            faults=FaultInjector(plan),
+        )
+        model = TransE(12, 2, dim=6, seed=0)
+        with pytest.raises(TrainingDivergedError):
+            model.fit(small_store, epochs=8, seed=0, runtime=runtime)
+
+    def test_checkpoint_crash_resume_is_bitwise_identical(self, small_store, tmp_path):
+        epochs = 6
+        reference = TransE(12, 2, dim=6, seed=0)
+        ref_history = reference.fit(small_store, epochs=epochs, seed=0)
+
+        # Interrupted run: checkpoints every epoch, killed mid-epoch 4
+        # (batch_size >= num_triples, so global step == epoch).
+        crashed = TransE(12, 2, dim=6, seed=0)
+        runtime = TrainingRuntime(
+            checkpointer=Checkpointer(tmp_path, every=1, keep=2),
+            faults=FaultInjector(FaultPlan([Fault(step=4, kind="raise")])),
+        )
+        with pytest.raises(InjectedFault):
+            crashed.fit(small_store, epochs=epochs, seed=0, runtime=runtime)
+
+        # Resume in a fresh process-equivalent: new model object, no faults.
+        resumed = TransE(12, 2, dim=6, seed=0)
+        history = resumed.fit(
+            small_store, epochs=epochs, seed=0,
+            runtime=TrainingRuntime(
+                checkpointer=Checkpointer(tmp_path, every=1, keep=2)
+            ),
+        )
+        np.testing.assert_array_equal(
+            resumed.entity.weight.data, reference.entity.weight.data
+        )
+        np.testing.assert_array_equal(
+            resumed.relation.weight.data, reference.relation.weight.data
+        )
+        np.testing.assert_allclose(history, ref_history)
+        assert resumed.is_fitted
+
+    def test_resume_skips_completed_training(self, small_store, tmp_path):
+        ck = Checkpointer(tmp_path, every=1)
+        first = TransE(12, 2, dim=6, seed=0)
+        first.fit(small_store, epochs=3, seed=0,
+                  runtime=TrainingRuntime(checkpointer=ck))
+        again = TransE(12, 2, dim=6, seed=0)
+        history = again.fit(small_store, epochs=3, seed=0,
+                            runtime=TrainingRuntime(checkpointer=ck))
+        assert len(history) == 3
+        np.testing.assert_array_equal(
+            again.entity.weight.data, first.entity.weight.data
+        )
