@@ -1,0 +1,286 @@
+"""Hot-path microbenchmarks: vectorized KG kernels vs scalar references.
+
+Times the four data-layer hot paths that every method family funnels
+through — triple-store construction, filtered negative sampling
+(``corrupt_batch``), fixed-size neighbor sampling (``NeighborCache.sample``),
+and sampled ranking evaluation — against faithful reimplementations of the
+pre-vectorization scalar code paths.  Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --smoke    # CI smoke
+
+``--smoke`` runs every kernel once at tiny sizes and asserts the
+correctness invariants (negatives are never facts, samples are true
+neighbors, metrics are probabilities) instead of reporting timings, so CI
+catches regressions in the vectorized paths without timing flakiness.
+See ``docs/performance.md`` for recorded numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.interactions import InteractionMatrix
+from repro.core.rng import ensure_rng
+from repro.eval.ranking import sampled_ranking_evaluation
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import NeighborCache, corrupt_batch
+from repro.kg.triples import TripleStore
+
+
+# --------------------------------------------------------------------- #
+# scalar reference implementations (the pre-vectorization code paths)
+# --------------------------------------------------------------------- #
+def scalar_corrupt_batch(store, fact_set, indices, rng, max_tries=50):
+    """Per-triple filtered corruption against a Python set of tuples."""
+    heads = np.empty(len(indices), dtype=np.int64)
+    rels = np.empty(len(indices), dtype=np.int64)
+    tails = np.empty(len(indices), dtype=np.int64)
+    for row, idx in enumerate(indices):
+        h = int(store.heads[idx])
+        r = int(store.relations[idx])
+        t = int(store.tails[idx])
+        candidate = (h, r, (t + 1) % store.num_entities)
+        for _ in range(max_tries):
+            if rng.random() < 0.5:
+                cand = (h, r, int(rng.integers(0, store.num_entities)))
+            else:
+                cand = (int(rng.integers(0, store.num_entities)), r, t)
+            if cand not in fact_set:
+                candidate = cand
+                break
+        heads[row], rels[row], tails[row] = candidate
+    return heads, rels, tails
+
+
+def scalar_neighbor_sample(cache, entities, num_samples, rng):
+    """Row-by-row receptive-field sampling (one RNG call per entity)."""
+    rel_out = np.empty((entities.size, num_samples), dtype=np.int64)
+    nbr_out = np.empty((entities.size, num_samples), dtype=np.int64)
+    for row, entity in enumerate(entities):
+        rels, nbrs = cache.neighbors_of(int(entity))
+        idx = rng.integers(0, rels.size, size=num_samples)
+        rel_out[row] = rels[idx]
+        nbr_out[row] = nbrs[idx]
+    return rel_out, nbr_out
+
+
+def scalar_ranking_evaluation(model, train, test, num_negatives, rng):
+    """Per-user Python candidate pools + per-pair metric appends."""
+    per_metric: dict[str, list[float]] = {}
+    for user in range(test.num_users):
+        held_items = test.interactions.items_of(user)
+        if held_items.size == 0:
+            continue
+        seen = set(train.interactions.items_of(user).tolist())
+        seen |= set(held_items.tolist())
+        pool = np.asarray(
+            [v for v in range(train.num_items) if v not in seen], dtype=np.int64
+        )
+        if pool.size == 0:
+            continue
+        scores = model.score_all(user)
+        for held in held_items:
+            take = min(num_negatives, pool.size)
+            negatives = rng.choice(pool, size=take, replace=False)
+            candidates = np.concatenate([[int(held)], negatives])
+            order = candidates[np.argsort(-scores[candidates], kind="stable")]
+            rank = 1 + int(np.flatnonzero(order == int(held))[0])
+            for k in (5, 10):
+                per_metric.setdefault(f"HR@{k}", []).append(float(rank <= k))
+            per_metric.setdefault("MRR", []).append(1.0 / rank)
+    return {key: float(np.mean(vals)) for key, vals in per_metric.items()}
+
+
+# --------------------------------------------------------------------- #
+# workload builders
+# --------------------------------------------------------------------- #
+def make_store(num_triples, num_entities, num_relations, seed=0):
+    rng = ensure_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(0, num_entities, size=num_triples),
+            rng.integers(0, num_relations, size=num_triples),
+            rng.integers(0, num_entities, size=num_triples),
+        ],
+        axis=1,
+    )
+    return TripleStore.from_triples(triples, num_entities, num_relations)
+
+
+def make_eval_setup(num_users, num_items, per_user, seed=0):
+    rng = ensure_rng(seed)
+    users = np.repeat(np.arange(num_users), per_user)
+    items = rng.integers(0, num_items, size=users.size)
+    inter = InteractionMatrix(users, items, num_users, num_items)
+    held = rng.integers(0, num_items, size=num_users)
+    test_inter = InteractionMatrix(np.arange(num_users), held, num_users, num_items)
+    train = Dataset(name="bench-train", interactions=inter)
+    test = Dataset(name="bench-test", interactions=test_inter)
+
+    class FixedScores:
+        is_fitted = True
+
+        def __init__(self):
+            self._scores = rng.random((num_users, num_items))
+
+        def score_all(self, user_id):
+            return self._scores[user_id]
+
+    return FixedScores(), train, test
+
+
+def best_time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+def run(num_triples, num_entities, num_relations, repeats, report):
+    store = make_store(num_triples, num_entities, num_relations)
+    kg = KnowledgeGraph(store)
+    fact_set = set(
+        zip(store.heads.tolist(), store.relations.tolist(), store.tails.tolist())
+    )
+    indices = np.arange(store.num_triples, dtype=np.int64)
+
+    # --- triple-store build -------------------------------------------- #
+    triples = store.triples()
+    build = best_time(
+        lambda: TripleStore.from_triples(triples, num_entities, num_relations),
+        repeats,
+    )
+    report("store build", None, build, store.num_triples)
+
+    # --- contains_batch ------------------------------------------------ #
+    rng = ensure_rng(1)
+    qh = rng.integers(0, num_entities, size=num_triples)
+    qr = rng.integers(0, num_relations, size=num_triples)
+    qt = rng.integers(0, num_entities, size=num_triples)
+    scalar = best_time(
+        lambda: [
+            (int(a), int(b), int(c)) in fact_set for a, b, c in zip(qh, qr, qt)
+        ],
+        repeats,
+    )
+    vector = best_time(lambda: store.contains_batch(qh, qr, qt), repeats)
+    report("contains_batch", scalar, vector, qh.size)
+
+    # --- corrupt_batch ------------------------------------------------- #
+    scalar = best_time(
+        lambda: scalar_corrupt_batch(store, fact_set, indices, ensure_rng(2)),
+        repeats,
+    )
+    vector = best_time(lambda: corrupt_batch(store, indices, seed=2), repeats)
+    report("corrupt_batch", scalar, vector, indices.size)
+
+    # --- NeighborCache build + sample ---------------------------------- #
+    cache_build = best_time(lambda: NeighborCache(kg), repeats)
+    report("NeighborCache build", None, cache_build, num_entities)
+    cache = NeighborCache(kg)
+    batch = ensure_rng(3).integers(0, num_entities, size=num_triples)
+    scalar = best_time(
+        lambda: scalar_neighbor_sample(cache, batch, 8, ensure_rng(4)), repeats
+    )
+    vector = best_time(lambda: cache.sample(batch, 8, seed=4), repeats)
+    report("neighbor sample", scalar, vector, batch.size)
+
+    # --- sampled ranking evaluation ------------------------------------ #
+    model, train, test = make_eval_setup(
+        num_users=max(16, num_entities // 20),
+        num_items=max(32, num_entities // 2),
+        per_user=16,
+    )
+    scalar = best_time(
+        lambda: scalar_ranking_evaluation(model, train, test, 99, ensure_rng(5)),
+        repeats,
+    )
+    vector = best_time(
+        lambda: sampled_ranking_evaluation(model, train, test, seed=5), repeats
+    )
+    report("ranking eval", scalar, vector, train.num_users)
+
+
+def smoke():
+    """Tiny-size single-shot run with correctness assertions (for CI)."""
+    store = make_store(200, 50, 4, seed=0)
+    kg = KnowledgeGraph(store)
+
+    qh, qr, qt = store.heads[:50], store.relations[:50], store.tails[:50]
+    assert store.contains_batch(qh, qr, qt).all(), "facts reported missing"
+    assert not store.contains_batch(qh, np.full(50, 3), qt).all() or all(
+        (int(a), 3, int(c)) in store for a, c in zip(qh, qt)
+    ), "contains_batch false positive"
+
+    idx = np.arange(store.num_triples, dtype=np.int64)
+    nh, nr, nt = corrupt_batch(store, idx, seed=0)
+    assert not store.contains_batch(nh, nr, nt).any(), "negative is a fact"
+    assert np.array_equal(nr, store.relations[idx]), "relation corrupted"
+
+    cache = NeighborCache(kg)
+    entities = np.arange(kg.num_entities, dtype=np.int64)
+    rels, nbrs = cache.sample(entities, 4, seed=0)
+    assert rels.shape == nbrs.shape == (kg.num_entities, 4)
+    for e in entities:
+        true_rels, true_nbrs = cache.neighbors_of(int(e))
+        pairs = set(zip(true_rels.tolist(), true_nbrs.tolist()))
+        assert set(zip(rels[e].tolist(), nbrs[e].tolist())) <= pairs
+
+    model, train, test = make_eval_setup(num_users=12, num_items=40, per_user=5)
+    result = sampled_ranking_evaluation(model, train, test, num_negatives=9, seed=0)
+    assert set(result) == {"HR@5", "HR@10", "NDCG@5", "NDCG@10", "MRR"}
+    assert all(0.0 <= v <= 1.0 for v in result.values())
+
+    offsets, rels, nbrs = store.neighbors_batch(entities)
+    for e in entities:
+        lo, hi = offsets[e], offsets[e + 1]
+        assert list(zip(rels[lo:hi], nbrs[lo:hi])) == store.neighbors(int(e))
+    print("bench_hotpaths smoke: all kernels OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--triples", type=int, default=100_000)
+    parser.add_argument("--entities", type=int, default=20_000)
+    parser.add_argument("--relations", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny single-shot correctness run"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        return
+
+    print(
+        f"hot-path microbenchmarks: {args.triples} triples, "
+        f"{args.entities} entities, {args.relations} relations "
+        f"(best of {args.repeats})"
+    )
+    header = f"{'kernel':<20} {'scalar s':>10} {'vector s':>10} {'speedup':>8} {'items/s':>12}"
+    print(header)
+    print("-" * len(header))
+
+    def report(name, scalar, vector, items):
+        throughput = items / vector if vector > 0 else float("inf")
+        if scalar is None:
+            print(f"{name:<20} {'-':>10} {vector:>10.4f} {'-':>8} {throughput:>12.0f}")
+        else:
+            print(
+                f"{name:<20} {scalar:>10.4f} {vector:>10.4f} "
+                f"{scalar / vector:>7.1f}x {throughput:>12.0f}"
+            )
+
+    run(args.triples, args.entities, args.relations, args.repeats, report)
+
+
+if __name__ == "__main__":
+    main()

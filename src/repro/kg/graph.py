@@ -53,6 +53,8 @@ class KnowledgeGraph:
                 raise GraphError("need one type per entity")
         self.entity_types = entity_types
         self.type_names = list(type_names) if type_names else None
+        self._entity_index: dict[str, int] | None = None
+        self._relation_index: dict[str, int] | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -102,21 +104,32 @@ class KnowledgeGraph:
             return f"r{relation}"
         return self.relation_labels[relation]
 
+    @staticmethod
+    def _label_index(labels: list[str]) -> dict[str, int]:
+        index: dict[str, int] = {}
+        for i, label in enumerate(labels):
+            index.setdefault(label, i)
+        return index
+
     def entity_id(self, label: str) -> int:
-        """Inverse of :meth:`entity_label` (linear scan; small graphs)."""
+        """Inverse of :meth:`entity_label` (lazily built dict, O(1) lookup)."""
         if self.entity_labels is None:
             raise GraphError("graph has no entity labels")
+        if self._entity_index is None:
+            self._entity_index = self._label_index(self.entity_labels)
         try:
-            return self.entity_labels.index(label)
-        except ValueError:
+            return self._entity_index[label]
+        except KeyError:
             raise GraphError(f"no entity labeled {label!r}") from None
 
     def relation_id(self, label: str) -> int:
         if self.relation_labels is None:
             raise GraphError("graph has no relation labels")
+        if self._relation_index is None:
+            self._relation_index = self._label_index(self.relation_labels)
         try:
-            return self.relation_labels.index(label)
-        except ValueError:
+            return self._relation_index[label]
+        except KeyError:
             raise GraphError(f"no relation labeled {label!r}") from None
 
     def type_of(self, entity: int) -> int:
@@ -164,14 +177,24 @@ class KnowledgeGraph:
         mapping = np.unique(np.asarray(entities, dtype=np.int64))
         if mapping.size and (mapping.min() < 0 or mapping.max() >= self.num_entities):
             raise GraphError("subgraph entity id out of range")
-        inverse = {int(e): i for i, e in enumerate(mapping)}
-        kept = [
-            (inverse[int(h)], int(r), inverse[int(t)])
-            for h, r, t in self.triples()
-            if int(h) in inverse and int(t) in inverse
-        ]
-        store = TripleStore.from_triples(
-            kept, num_entities=max(1, mapping.size), num_relations=self.num_relations
+        heads, rels, tails = self.store.heads, self.store.relations, self.store.tails
+        if mapping.size:
+            # mapping is sorted, so searchsorted positions double as the new
+            # (compacted) entity ids wherever the lookup is an exact hit.
+            hpos = np.searchsorted(mapping, heads)
+            tpos = np.searchsorted(mapping, tails)
+            hpos_c = np.minimum(hpos, mapping.size - 1)
+            tpos_c = np.minimum(tpos, mapping.size - 1)
+            keep = (mapping[hpos_c] == heads) & (mapping[tpos_c] == tails)
+            new_h, new_r, new_t = hpos[keep], rels[keep], tpos[keep]
+        else:
+            new_h = new_r = new_t = np.empty(0, dtype=np.int64)
+        store = TripleStore(
+            new_h,
+            new_r,
+            new_t,
+            num_entities=max(1, mapping.size),
+            num_relations=self.num_relations,
         )
         sub = KnowledgeGraph(
             store,
@@ -209,9 +232,9 @@ class KnowledgeGraph:
 
     def describe(self) -> dict[str, float]:
         """Basic statistics used in dataset summaries."""
-        degrees = np.array(
-            [self.store.degree(e) for e in range(self.num_entities)], dtype=np.float64
-        )
+        degrees = self.store.degree_batch(
+            np.arange(self.num_entities, dtype=np.int64)
+        ).astype(np.float64)
         return {
             "entities": self.num_entities,
             "relations": self.num_relations,

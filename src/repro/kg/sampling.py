@@ -1,9 +1,12 @@
 """Neighbor and negative sampling utilities for KG models.
 
 :class:`NeighborCache` precomputes per-entity undirected ``(relation,
-neighbor)`` lists and draws fixed-size receptive fields, the sampling trick
-KGCN uses to keep GNN propagation scalable.  :func:`corrupt_batch` produces
-filtered negative triples for translation-model training.
+neighbor)`` adjacency as flat arrays plus offsets and draws fixed-size
+receptive fields with a single vectorized gather, the sampling trick KGCN
+uses to keep GNN propagation scalable.  :func:`corrupt_batch` produces
+filtered negative triples for translation-model training with one RNG call
+per resampling round instead of one per triple (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -22,30 +25,41 @@ __all__ = ["NeighborCache", "corrupt_batch"]
 class NeighborCache:
     """Precomputed undirected adjacency with fixed-size sampling.
 
-    Entities without any neighbor sample themselves with the reserved
-    self-loop relation id ``num_relations`` (one extra embedding row is
-    allocated by models using this cache).
+    The adjacency is stored CSR-style: two flat arrays (``relations``,
+    ``neighbors``) indexed by a per-entity ``offsets`` array, so sampling a
+    whole batch of receptive fields is one bounded-``integers`` draw plus
+    two gathers.  Entities without any neighbor sample themselves with the
+    reserved self-loop relation id ``num_relations`` (one extra embedding
+    row is allocated by models using this cache).
     """
 
     def __init__(self, kg: KnowledgeGraph) -> None:
         self.kg = kg
         self.self_relation = kg.num_relations
-        self._relations: list[np.ndarray] = []
-        self._neighbors: list[np.ndarray] = []
-        for entity in range(kg.num_entities):
-            pairs = kg.neighbors(entity, undirected=True)
-            if pairs:
-                rels = np.fromiter((r for r, __ in pairs), dtype=np.int64)
-                nbrs = np.fromiter((n for __, n in pairs), dtype=np.int64)
-            else:
-                rels = np.asarray([self.self_relation], dtype=np.int64)
-                nbrs = np.asarray([entity], dtype=np.int64)
-            self._relations.append(rels)
-            self._neighbors.append(nbrs)
+        adj_offsets, adj_rels, adj_nbrs = kg.store.undirected_adjacency()
+        degrees = np.diff(adj_offsets)
+        counts = np.where(degrees == 0, 1, degrees)
+        offsets = np.zeros(kg.num_entities + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat_rels = np.empty(int(offsets[-1]), dtype=np.int64)
+        flat_nbrs = np.empty(int(offsets[-1]), dtype=np.int64)
+        # Real edges land at their entity's (possibly shifted) slot range...
+        shift = offsets[:-1] - adj_offsets[:-1]
+        dest = np.arange(adj_rels.size, dtype=np.int64) + np.repeat(shift, degrees)
+        flat_rels[dest] = adj_rels
+        flat_nbrs[dest] = adj_nbrs
+        # ...and isolated entities get a single self-loop slot.
+        isolated = np.flatnonzero(degrees == 0)
+        flat_rels[offsets[isolated]] = self.self_relation
+        flat_nbrs[offsets[isolated]] = isolated
+        self._offsets = offsets
+        self._flat_relations = flat_rels
+        self._flat_neighbors = flat_nbrs
 
     def neighbors_of(self, entity: int) -> tuple[np.ndarray, np.ndarray]:
         """Full ``(relations, neighbors)`` arrays for ``entity``."""
-        return self._relations[entity], self._neighbors[entity]
+        lo, hi = self._offsets[entity], self._offsets[entity + 1]
+        return self._flat_relations[lo:hi], self._flat_neighbors[lo:hi]
 
     def sample(
         self,
@@ -56,33 +70,62 @@ class NeighborCache:
         """Fixed-size neighborhood per input entity.
 
         Returns ``(relations, neighbors)`` each of shape
-        ``(len(entities), num_samples)``, sampled with replacement.
+        ``(len(entities), num_samples)``, sampled with replacement.  The
+        whole batch is drawn with one RNG call (per-row bounds broadcast
+        through ``Generator.integers``) and two flat-array gathers.
         """
         if num_samples < 1:
             raise GraphError("num_samples must be >= 1")
         rng = ensure_rng(seed)
         entities = np.asarray(entities, dtype=np.int64).ravel()
-        rel_out = np.empty((entities.size, num_samples), dtype=np.int64)
-        nbr_out = np.empty((entities.size, num_samples), dtype=np.int64)
-        for row, entity in enumerate(entities):
-            rels, nbrs = self._relations[entity], self._neighbors[entity]
-            idx = rng.integers(0, rels.size, size=num_samples)
-            rel_out[row] = rels[idx]
-            nbr_out[row] = nbrs[idx]
-        return rel_out, nbr_out
+        starts = self._offsets[entities]
+        counts = self._offsets[entities + 1] - starts
+        draws = rng.integers(0, counts[:, None], size=(entities.size, num_samples))
+        flat = starts[:, None] + draws
+        return self._flat_relations[flat], self._flat_neighbors[flat]
 
 
 def corrupt_batch(
     store: TripleStore,
     indices: np.ndarray,
     seed: int | np.random.Generator | None = None,
+    corrupt_tail_prob: float = 0.5,
+    max_tries: int = 50,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Negative ``(h, r, t)`` arrays for the facts at ``indices``."""
+    """Negative ``(h, r, t)`` arrays for the facts at ``indices``.
+
+    Filtered negative sampling, vectorized: every round draws corruption
+    candidates for *all* still-colliding rows at once, filters them against
+    the store's packed fact-key array via
+    :meth:`~repro.kg.triples.TripleStore.contains_batch`, and keeps only the
+    rows whose candidate is a true negative.  Rows still colliding after
+    ``max_tries`` rounds fall back to the deterministic
+    :meth:`~repro.kg.triples.TripleStore.corrupt_fallback`, which never
+    returns an existing fact.
+    """
     rng = ensure_rng(seed)
-    heads = np.empty(len(indices), dtype=np.int64)
-    rels = np.empty(len(indices), dtype=np.int64)
-    tails = np.empty(len(indices), dtype=np.int64)
-    for row, idx in enumerate(np.asarray(indices, dtype=np.int64)):
-        h, r, t = store.corrupt(int(idx), seed=rng)
-        heads[row], rels[row], tails[row] = h, r, t
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    heads = store.heads[idx].copy()
+    rels = store.relations[idx].copy()
+    tails = store.tails[idx].copy()
+    pending = np.arange(idx.size, dtype=np.int64)
+    for _ in range(max_tries):
+        if pending.size == 0:
+            break
+        tail_side = rng.random(pending.size) < corrupt_tail_prob
+        candidates = rng.integers(0, store.num_entities, size=pending.size)
+        cand_h = np.where(tail_side, heads[pending], candidates)
+        cand_t = np.where(tail_side, candidates, tails[pending])
+        colliding = store.contains_batch(cand_h, rels[pending], cand_t)
+        accepted = pending[~colliding]
+        heads[accepted] = cand_h[~colliding]
+        tails[accepted] = cand_t[~colliding]
+        pending = pending[colliding]
+    for row in pending:
+        h, __, t = store.corrupt_fallback(
+            int(store.heads[idx[row]]),
+            int(rels[row]),
+            int(store.tails[idx[row]]),
+        )
+        heads[row], tails[row] = h, t
     return heads, rels, tails
