@@ -1,0 +1,289 @@
+"""Autograd hot-loop microbenchmarks: sparse embedding gradients vs dense.
+
+Times the three layers the sparse-gradient training path (see
+``docs/autograd.md``) accelerates, each against a faithful
+reimplementation of the pre-sparse seed code path:
+
+* **embedding backward** — building the gradient of an embedding lookup:
+  row-sparse :class:`~repro.autograd.sparse.SparseGrad` construction +
+  coalescing vs the seed's ``np.zeros_like`` + ``np.add.at`` dense scatter,
+* **optimizer step** — lazy row-wise Adam vs ``dense_updates=True`` on the
+  same sparse gradient (the dense path pays densification + a full-table
+  update),
+* **end-to-end fit** — one TransE epoch over a fixed batch count while the
+  entity-table size grows; with sparse updates the epoch time is sublinear
+  in ``num_entities``.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_autograd.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_autograd.py --smoke    # CI smoke
+
+The full run writes machine-readable results to ``--out`` (default
+``benchmarks/BENCH_autograd.json``).  ``--smoke`` runs tiny sizes and
+asserts the correctness/bitwise invariants instead of reporting timings —
+the sparse gradient densifies to exactly the ``np.add.at`` scatter, lazy
+Adam's first step matches the dense step bitwise, and a ``fit`` with
+``dense_updates=True`` reproduces the seed's dense training path bitwise.
+See ``docs/performance.md`` for recorded numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd import tensor as tensor_mod
+from repro.autograd.optim import Adam
+from repro.autograd.sparse import SparseGrad
+from repro.core.rng import ensure_rng
+from repro.kge import TransE
+from repro.kg.triples import TripleStore
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_autograd.json"
+
+
+# --------------------------------------------------------------------- #
+# seed reference implementations (the pre-sparse code paths)
+# --------------------------------------------------------------------- #
+def seed_lookup_backward(weight: np.ndarray, rows: np.ndarray, upstream: np.ndarray):
+    """The seed's embedding-lookup backward: full-table zeros + add.at."""
+    grad = np.zeros_like(weight)
+    np.add.at(grad, rows, upstream)
+    return grad
+
+
+def sparse_lookup_backward(shape, rows: np.ndarray, upstream: np.ndarray):
+    """The sparse path: wrap the batch rows, coalesce duplicates."""
+    return SparseGrad(shape, rows, upstream).coalesce()
+
+
+def best_time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# workloads
+# --------------------------------------------------------------------- #
+def make_store(num_triples, num_entities, num_relations, seed=0):
+    rng = ensure_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(0, num_entities, size=num_triples),
+            rng.integers(0, num_relations, size=num_triples),
+            rng.integers(0, num_entities, size=num_triples),
+        ],
+        axis=1,
+    )
+    return TripleStore.from_triples(triples, num_entities, num_relations)
+
+
+def bench_lookup_backward(num_entities, dim, batch, repeats, seed=0):
+    rng = ensure_rng(seed)
+    weight = rng.standard_normal((num_entities, dim))
+    rows = rng.integers(0, num_entities, size=batch).astype(np.int64)
+    upstream = rng.standard_normal((batch, dim))
+    dense = best_time(lambda: seed_lookup_backward(weight, rows, upstream), repeats)
+    sparse = best_time(
+        lambda: sparse_lookup_backward(weight.shape, rows, upstream), repeats
+    )
+    return dense, sparse
+
+
+def bench_adam_step(num_entities, dim, batch, repeats, seed=0):
+    rng = ensure_rng(seed)
+    rows = rng.integers(0, num_entities, size=batch).astype(np.int64)
+    upstream = rng.standard_normal((batch, dim))
+
+    def one_mode(dense_updates):
+        w = nn.Parameter(rng.standard_normal((num_entities, dim)))
+        opt = Adam([w], lr=0.01, weight_decay=1e-5, dense_updates=dense_updates)
+
+        def step():
+            w._grad = SparseGrad(w.shape, rows, upstream.copy())
+            opt.step()
+
+        return best_time(step, repeats)
+
+    return one_mode(True), one_mode(False)
+
+
+def bench_fit_epoch(num_entities, dim, num_triples, batch, repeats, dense_updates):
+    store = make_store(num_triples, num_entities, num_relations=8, seed=0)
+    best = float("inf")
+    for _ in range(repeats):
+        model = TransE(num_entities, 8, dim=dim, seed=0)  # init outside the clock
+        t0 = time.perf_counter()
+        model.fit(
+            store,
+            epochs=1,
+            batch_size=batch,
+            lr=0.01,
+            seed=1,
+            dense_updates=dense_updates,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+def run(args):
+    results = {
+        "config": {
+            "entities": args.entities,
+            "dim": args.dim,
+            "batch": args.batch,
+            "triples": args.triples,
+            "repeats": args.repeats,
+        },
+        "kernels": {},
+        "fit_epoch_seconds": {},
+    }
+    header = f"{'kernel':<24} {'dense s':>10} {'sparse s':>10} {'speedup':>8}"
+    print(
+        f"autograd microbenchmarks: {args.entities} entities, dim {args.dim}, "
+        f"batch {args.batch} (best of {args.repeats})"
+    )
+    print(header)
+    print("-" * len(header))
+
+    def report(name, dense, sparse):
+        print(f"{name:<24} {dense:>10.5f} {sparse:>10.5f} {dense / sparse:>7.1f}x")
+        results["kernels"][name] = {
+            "dense_seconds": dense,
+            "sparse_seconds": sparse,
+            "speedup": dense / sparse,
+        }
+
+    report(
+        "embedding backward",
+        *bench_lookup_backward(args.entities, args.dim, args.batch, args.repeats),
+    )
+    report(
+        "Adam step",
+        *bench_adam_step(args.entities, args.dim, args.batch, args.repeats),
+    )
+
+    print()
+    header = f"{'fit epoch (TransE)':<24} {'dense s':>10} {'sparse s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for entities in args.fit_entities:
+        dense = bench_fit_epoch(
+            entities, args.dim, args.triples, args.batch, args.repeats, True
+        )
+        sparse = bench_fit_epoch(
+            entities, args.dim, args.triples, args.batch, args.repeats, False
+        )
+        print(
+            f"{f'E={entities}':<24} {dense:>10.4f} {sparse:>10.4f} "
+            f"{dense / sparse:>7.1f}x"
+        )
+        results["fit_epoch_seconds"][str(entities)] = {
+            "dense_seconds": dense,
+            "sparse_seconds": sparse,
+            "speedup": dense / sparse,
+        }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+# --------------------------------------------------------------------- #
+def smoke():
+    """Tiny-size single-shot run with bitwise assertions (for CI)."""
+    rng = ensure_rng(0)
+    weight = rng.standard_normal((40, 6))
+    rows = rng.integers(0, 40, size=25).astype(np.int64)  # guaranteed duplicates
+    upstream = rng.standard_normal((25, 6))
+
+    # Sparse backward densifies to exactly the seed's add.at scatter.
+    ref = seed_lookup_backward(weight, rows, upstream)
+    sparse = sparse_lookup_backward(weight.shape, rows, upstream)
+    assert np.array_equal(sparse.to_dense(), ref), "sparse backward != add.at"
+
+    # The autograd lookup produces the same gradient through both paths.
+    for flag in (True, False):
+        emb = nn.Embedding(40, 6, seed=1)
+        old = tensor_mod.SPARSE_LOOKUP_GRADS
+        tensor_mod.SPARSE_LOOKUP_GRADS = flag
+        try:
+            (emb(rows) * upstream).sum().backward()
+        finally:
+            tensor_mod.SPARSE_LOOKUP_GRADS = old
+        expected = seed_lookup_backward(emb.weight.data, rows, upstream)
+        assert np.array_equal(emb.weight.grad, expected), f"lookup grad (flag={flag})"
+
+    # Lazy Adam's first step matches the dense step bitwise (zero decay).
+    updated = {}
+    for dense_updates in (False, True):
+        w = nn.Parameter(ensure_rng(2).standard_normal((40, 6)))
+        opt = Adam([w], lr=0.01, dense_updates=dense_updates)
+        w._grad = SparseGrad(w.shape, rows, upstream.copy())
+        opt.step()
+        updated[dense_updates] = w.data
+    assert np.array_equal(updated[False], updated[True]), "lazy Adam first step"
+
+    # dense_updates=True reproduces the seed's dense fit history bitwise.
+    store = make_store(120, 30, 4, seed=0)
+    histories = {}
+    for mode in ("seed", "dense", "sparse"):
+        old = tensor_mod.SPARSE_LOOKUP_GRADS
+        tensor_mod.SPARSE_LOOKUP_GRADS = mode != "seed"
+        try:
+            model = TransE(30, 4, dim=6, seed=3)
+            histories[mode] = model.fit(
+                store,
+                epochs=2,
+                batch_size=32,
+                seed=4,
+                dense_updates=mode != "sparse",
+            )
+        finally:
+            tensor_mod.SPARSE_LOOKUP_GRADS = old
+    assert histories["dense"] == histories["seed"], "dense_updates fit not bitwise"
+    # Lazy Adam is a different (standard) update rule — untouched rows'
+    # moments are not decayed — so the sparse history only tracks the dense
+    # one approximately.
+    np.testing.assert_allclose(histories["sparse"], histories["seed"], rtol=0.05)
+    print("bench_autograd smoke: all kernels OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--entities", type=int, default=100_000)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument("--triples", type=int, default=2_048)
+    parser.add_argument(
+        "--fit-entities",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000, 100_000],
+        help="entity-table sizes for the end-to-end fit scaling study",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=str, default=str(DEFAULT_OUT))
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny single-shot correctness run"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        return
+    run(args)
+
+
+if __name__ == "__main__":
+    main()

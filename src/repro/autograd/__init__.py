@@ -2,11 +2,13 @@
 
 from . import losses, nn, ops
 from .optim import SGD, Adagrad, Adam, Optimizer
+from .sparse import SparseGrad
 from .tensor import Tensor, as_tensor
 
 __all__ = [
     "Tensor",
     "as_tensor",
+    "SparseGrad",
     "ops",
     "nn",
     "losses",

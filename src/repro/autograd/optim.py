@@ -4,6 +4,32 @@ All optimizers share the same contract: construct with the parameter list,
 call :meth:`step` after gradients were produced by ``backward``, then
 :meth:`zero_grad`.  ``weight_decay`` applies decoupled L2 shrinkage.
 
+Sparse row gradients
+--------------------
+Embedding lookups produce :class:`~repro.autograd.sparse.SparseGrad`
+gradients (row indices + rows).  By default every optimizer applies *lazy
+row-wise updates* to such parameters: only the rows touched by the batch
+are read, updated, and written, so the per-step cost is O(batch * dim)
+instead of O(table * dim).  Semantics notes:
+
+* **SGD** (no momentum) and **Adagrad** row updates are *exactly* the
+  update the dense path would apply — zero-gradient rows are fixed points
+  of both rules (when ``weight_decay == 0``).
+* **Adam** becomes *lazy Adam*: the first/second moment estimates of
+  untouched rows are not decayed, matching the standard sparse-Adam
+  behavior in mainstream frameworks.  The bias-correction step counter
+  still advances globally.
+* Decoupled ``weight_decay`` shrinks only the touched rows (lazy decay).
+* **SGD with momentum** keeps a dense velocity and therefore densifies
+  sparse gradients (the historical behavior).
+
+Constructing with ``dense_updates=True`` densifies every sparse gradient
+before the update, reproducing the historical dense path bitwise (the
+coalescing kernel matches ``np.add.at`` summation order exactly).  The
+optimizer state layout is identical in both modes, so
+``state_dict``/checkpoints are interchangeable and resume stays
+bitwise-reproducible either way.
+
 Robustness (see :mod:`repro.runtime.guards` and ``docs/robustness.md``):
 ``max_grad_norm`` clips the *global* gradient norm before each update, and
 ``skip_nonfinite`` decides what happens when a NaN/Inf gradient reaches
@@ -26,6 +52,7 @@ from repro.runtime.guards import (
     zero_nonfinite_grads,
 )
 
+from .sparse import SparseGrad
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adagrad", "Adam"]
@@ -41,6 +68,7 @@ class Optimizer:
         weight_decay: float = 0.0,
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
+        dense_updates: bool = False,
     ) -> None:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
@@ -58,6 +86,7 @@ class Optimizer:
         self.weight_decay = weight_decay
         self.max_grad_norm = max_grad_norm
         self.skip_nonfinite = skip_nonfinite
+        self.dense_updates = bool(dense_updates)
         #: Number of steps on which a non-finite gradient was encountered.
         self.nonfinite_steps = 0
 
@@ -84,9 +113,22 @@ class Optimizer:
     def _apply(self) -> None:
         raise NotImplementedError
 
+    def _sparse_grad(self, p: Tensor) -> SparseGrad | None:
+        """``p``'s coalesced sparse gradient, or ``None`` on the dense path."""
+        if self.dense_updates:
+            return None
+        g = p.raw_grad
+        if isinstance(g, SparseGrad):
+            return g.coalesce()
+        return None
+
     def _decay(self, p: Tensor) -> None:
         if self.weight_decay:
             p.data *= 1.0 - self.lr * self.weight_decay
+
+    def _decay_rows(self, p: Tensor, rows: np.ndarray) -> None:
+        if self.weight_decay:
+            p.data[rows] *= 1.0 - self.lr * self.weight_decay
 
     # ------------------------------------------------------------------ #
     # checkpointing
@@ -123,21 +165,33 @@ class SGD(Optimizer):
         weight_decay: float = 0.0,
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
+        dense_updates: bool = False,
     ) -> None:
-        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
+        super().__init__(
+            params, lr, weight_decay, max_grad_norm, skip_nonfinite, dense_updates
+        )
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def _apply(self) -> None:
         for p, v in zip(self.params, self._velocity):
-            if p.grad is None:
+            if p.raw_grad is None:
                 continue
+            if not self.momentum:
+                sparse = self._sparse_grad(p)
+                if sparse is not None:
+                    rows = sparse.rows
+                    self._decay_rows(p, rows)
+                    p.data[rows] -= self.lr * sparse.vals
+                    continue
+            # Momentum keeps a dense velocity, so sparse grads densify here.
+            grad = p.grad
             if self.momentum:
                 v *= self.momentum
-                v += p.grad
+                v += grad
                 update = v
             else:
-                update = p.grad
+                update = grad
             self._decay(p)
             p.data -= self.lr * update
 
@@ -159,18 +213,29 @@ class Adagrad(Optimizer):
         weight_decay: float = 0.0,
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
+        dense_updates: bool = False,
     ) -> None:
-        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
+        super().__init__(
+            params, lr, weight_decay, max_grad_norm, skip_nonfinite, dense_updates
+        )
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.params]
 
     def _apply(self) -> None:
         for p, acc in zip(self.params, self._accum):
-            if p.grad is None:
+            if p.raw_grad is None:
                 continue
-            acc += p.grad**2
+            sparse = self._sparse_grad(p)
+            if sparse is not None:
+                rows, vals = sparse.rows, sparse.vals
+                acc[rows] += vals**2
+                self._decay_rows(p, rows)
+                p.data[rows] -= self.lr * vals / (np.sqrt(acc[rows]) + self.eps)
+                continue
+            grad = p.grad
+            acc += grad**2
             self._decay(p)
-            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+            p.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
 
     def state_dict(self) -> dict:
         return {"accum": [a.copy() for a in self._accum]}
@@ -180,7 +245,11 @@ class Adagrad(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moment estimates."""
+    """Adam with bias-corrected first/second moment estimates.
+
+    Sparse gradients get *lazy* row updates: see the module docstring for
+    the exact semantics (moments of untouched rows are not decayed).
+    """
 
     def __init__(
         self,
@@ -191,8 +260,11 @@ class Adam(Optimizer):
         weight_decay: float = 0.0,
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
+        dense_updates: bool = False,
     ) -> None:
-        super().__init__(params, lr, weight_decay, max_grad_norm, skip_nonfinite)
+        super().__init__(
+            params, lr, weight_decay, max_grad_norm, skip_nonfinite, dense_updates
+        )
         self.beta1, self.beta2 = betas
         self.eps = eps
         self._m = [np.zeros_like(p.data) for p in self.params]
@@ -204,12 +276,25 @@ class Adam(Optimizer):
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
         for p, m, v in zip(self.params, self._m, self._v):
-            if p.grad is None:
+            if p.raw_grad is None:
                 continue
+            sparse = self._sparse_grad(p)
+            if sparse is not None:
+                rows, vals = sparse.rows, sparse.vals
+                # Same multiply-then-add sequence as the dense branch, so a
+                # first step from zero state matches it bitwise.
+                m[rows] = self.beta1 * m[rows] + (1.0 - self.beta1) * vals
+                v[rows] = self.beta2 * v[rows] + (1.0 - self.beta2) * vals**2
+                self._decay_rows(p, rows)
+                p.data[rows] -= (
+                    self.lr * (m[rows] / bc1) / (np.sqrt(v[rows] / bc2) + self.eps)
+                )
+                continue
+            grad = p.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
+            m += (1.0 - self.beta1) * grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
+            v += (1.0 - self.beta2) * grad**2
             self._decay(p)
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
 

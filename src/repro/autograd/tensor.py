@@ -10,7 +10,13 @@ Design notes
 * Only float64 arrays; shapes follow NumPy broadcasting, and gradients of
   broadcast operands are reduced back to the operand shape.
 * Integer "fancy" indexing is differentiable (scatter-add on the backward
-  pass), which is how embedding lookups are implemented.
+  pass), which is how embedding lookups are implemented.  When the indexed
+  tensor is a 2-d *leaf* (an embedding table), the backward pass produces a
+  :class:`~repro.autograd.sparse.SparseGrad` — row indices plus gradient
+  rows — instead of a dense zeros table, so mini-batch cost scales with the
+  batch, not the table.  Reading :attr:`Tensor.grad` densifies on demand;
+  sparse-aware consumers (optimizers, runtime guards) use
+  :attr:`Tensor.raw_grad`.
 * The tape is built eagerly; :meth:`Tensor.backward` topologically sorts it.
 """
 
@@ -20,7 +26,13 @@ from typing import Callable
 
 import numpy as np
 
+from .sparse import SparseGrad, coalesce_rows
+
 __all__ = ["Tensor", "as_tensor"]
+
+#: Escape hatch: set to False to force the historical dense scatter backward
+#: for embedding-style lookups (used by equivalence tests and benchmarks).
+SPARSE_LOOKUP_GRADS = True
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -37,10 +49,24 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _as_row_index(index) -> np.ndarray | None:
+    """``index`` as an int64 axis-0 row-index array, or ``None`` if it is
+    not plain integer fancy indexing (slices, masks, tuples, ...)."""
+    if isinstance(index, (int, np.integer)):
+        return np.asarray(index, dtype=np.int64)
+    if isinstance(index, np.ndarray) and index.dtype.kind in "iu":
+        return index.astype(np.int64, copy=False)
+    if isinstance(index, list):
+        arr = np.asarray(index)
+        if arr.dtype.kind in "iu":
+            return arr.astype(np.int64, copy=False)
+    return None
+
+
 class Tensor:
     """A NumPy array with an attached gradient and backward function."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+    __slots__ = ("data", "_grad", "requires_grad", "_parents", "_backward")
 
     def __init__(
         self,
@@ -50,7 +76,7 @@ class Tensor:
         _backward: Callable[[np.ndarray], None] | None = None,
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.grad: np.ndarray | None = None
+        self._grad: np.ndarray | SparseGrad | None = None
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
         self._backward = _backward
@@ -82,15 +108,59 @@ class Tensor:
         return f"Tensor(shape={self.shape}{flag})"
 
     # ------------------------------------------------------------------ #
+    # gradient access
+    # ------------------------------------------------------------------ #
+    @property
+    def grad(self) -> np.ndarray | None:
+        """The gradient as a dense array (densifies a sparse grad in place)."""
+        g = self._grad
+        if isinstance(g, SparseGrad):
+            g = g.to_dense()
+            self._grad = g
+        return g
+
+    @grad.setter
+    def grad(self, value) -> None:
+        self._grad = value
+
+    @property
+    def raw_grad(self) -> np.ndarray | SparseGrad | None:
+        """The gradient in raw form — dense array or :class:`SparseGrad`."""
+        return self._grad
+
+    # ------------------------------------------------------------------ #
     # autograd machinery
     # ------------------------------------------------------------------ #
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+    def _accumulate(self, grad, owned: bool = False) -> None:
+        """Add ``grad`` (dense or :class:`SparseGrad`) into this tensor.
+
+        ``owned=True`` promises ``grad`` is a freshly allocated array no one
+        else references, letting the first accumulation store it directly
+        instead of copying (sparse grads are always fresh by construction).
+        """
+        current = self._grad
+        if isinstance(grad, SparseGrad):
+            if current is None:
+                self._grad = grad
+            elif isinstance(current, SparseGrad):
+                self._grad = current.merge(grad)
+            else:
+                grad.add_into(current)
+        elif current is None:
+            # np.asarray also promotes 0-d NumPy scalars (e.g. from
+            # ``grad * other.data`` on 0-d tensors) to real arrays, so the
+            # in-place ``+=`` below always works on later accumulations.
+            arr = np.asarray(grad)
+            self._grad = arr if owned and arr is grad else arr.copy()
+        elif isinstance(current, SparseGrad):
+            dense = current.to_dense()
+            dense += grad
+            self._grad = dense
+        else:
+            current += grad
 
     def zero_grad(self) -> None:
-        self.grad = None
+        self._grad = None
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode differentiation from this tensor.
@@ -122,8 +192,16 @@ class Tensor:
 
         self._accumulate(grad)
         for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            if node._backward is None:
+                continue
+            g = node._grad
+            if g is None:
+                continue
+            if isinstance(g, SparseGrad):
+                # Interior nodes need the dense form to keep propagating.
+                g = g.to_dense()
+                node._grad = g
+            node._backward(g)
 
     @staticmethod
     def _make(data, parents: tuple["Tensor", ...], backward) -> "Tensor":
@@ -144,9 +222,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, owned=g is not grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                g = _unbroadcast(grad, other.shape)
+                other._accumulate(g, owned=g is not grad)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -155,7 +235,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -171,9 +251,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate(_unbroadcast(grad * other.data, self.shape), owned=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -185,10 +265,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other.data, self.shape), owned=True)
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / other.data**2, other.shape)
+                    _unbroadcast(-grad * self.data / other.data**2, other.shape),
+                    owned=True,
                 )
 
         return Tensor._make(out_data, (self, other), backward)
@@ -203,7 +284,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(
+                    grad * exponent * self.data ** (exponent - 1), owned=True
+                )
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -226,12 +309,12 @@ class Tensor:
                 ga = g @ np.swapaxes(b2, -1, -2)
                 if a.ndim == 1:
                     ga = ga.reshape(-1, a.shape[0]).sum(axis=0)
-                self._accumulate(_unbroadcast(ga, self.shape))
+                self._accumulate(_unbroadcast(ga, self.shape), owned=True)
             if other.requires_grad:
                 gb = np.swapaxes(a2, -1, -2) @ g
                 if b.ndim == 1:
                     gb = gb.reshape(b.shape[0], -1).sum(axis=1)
-                other._accumulate(_unbroadcast(gb, other.shape))
+                other._accumulate(_unbroadcast(gb, other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -272,12 +355,41 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not self.requires_grad:
+            return Tensor._make(out_data, (self,), None)
+
+        rows = _as_row_index(index)
+        if rows is not None:
+            # Integer fancy indexing along axis 0 — the embedding gather.
+            # The forward lookup above already validated the index range.
+            num_rows = self.data.shape[0]
+            if (rows < 0).any():
+                rows = np.where(rows < 0, rows + num_rows, rows)
+            flat_rows = rows.reshape(-1)
+            sparse_ok = (
+                SPARSE_LOOKUP_GRADS
+                and self.data.ndim == 2
+                and self._backward is None  # leaf: the grad feeds an optimizer
+            )
+
+            def backward(grad: np.ndarray) -> None:
+                vals = np.ascontiguousarray(grad).reshape(flat_rows.size, -1)
+                if sparse_ok:
+                    self._accumulate(SparseGrad(self.shape, flat_rows, vals))
+                    return
+                # Dense scatter via the coalescing kernel: bitwise identical
+                # to np.add.at on zeros, without its per-element cost.
+                full = np.zeros_like(self.data)
+                unique, summed = coalesce_rows(flat_rows, vals)
+                full.reshape(num_rows, -1)[unique] = summed
+                self._accumulate(full, owned=True)
+
+            return Tensor._make(out_data, (self,), backward)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -293,7 +405,7 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -317,7 +429,7 @@ class Tensor:
             mask = self.data == expanded
             # Split ties evenly so the gradient check stays symmetric.
             mask = mask / mask.sum(axis=axis, keepdims=True)
-            self._accumulate(mask * g)
+            self._accumulate(mask * g, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 

@@ -104,6 +104,7 @@ class KGEModel(nn.Module, abc.ABC):
         runtime: "TrainingRuntime | None" = None,
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
+        dense_updates: bool = False,
     ) -> list[float]:
         """Train on all facts in ``store``; returns per-epoch mean loss.
 
@@ -117,7 +118,12 @@ class KGEModel(nn.Module, abc.ABC):
         run converges to bitwise-identical parameters.
 
         ``max_grad_norm`` / ``skip_nonfinite`` are forwarded to the
-        optimizer (see :class:`repro.autograd.optim.Optimizer`).
+        optimizer (see :class:`repro.autograd.optim.Optimizer`).  By
+        default embedding gradients stay row-sparse and the optimizer
+        applies lazy row-wise updates, so a step costs O(batch * dim)
+        regardless of the table sizes; pass ``dense_updates=True`` to
+        densify every gradient and reproduce the historical dense
+        training path bitwise.
         """
         if store.num_triples == 0:
             raise ConfigError("cannot fit a KGE model on an empty triple store")
@@ -129,6 +135,7 @@ class KGEModel(nn.Module, abc.ABC):
             weight_decay=weight_decay,
             max_grad_norm=max_grad_norm,
             skip_nonfinite=skip_nonfinite,
+            dense_updates=dense_updates,
         )
         history: list[float] = []
         start_epoch = 0
@@ -153,9 +160,10 @@ class KGEModel(nn.Module, abc.ABC):
                 optimizer.step()
                 if self.normalize_entities:
                     self._renormalize()
+                loss_value = loss.item()
                 if runtime is not None:
-                    runtime.observe_loss(loss.item())
-                total += loss.item() * idx.size
+                    runtime.observe_loss(loss_value)
+                total += loss_value * idx.size
                 step += 1
             history.append(total / n)
             if runtime is not None:

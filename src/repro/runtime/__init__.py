@@ -32,11 +32,13 @@ from .guards import (
     clip_grad_norm,
     grad_norm,
     has_nonfinite_grad,
+    raw_grad,
     zero_nonfinite_grads,
 )
 from .retry import Attempt, RetryPolicy
 
 __all__ = [
+    "raw_grad",
     "grad_norm",
     "clip_grad_norm",
     "has_nonfinite_grad",

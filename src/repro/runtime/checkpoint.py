@@ -11,6 +11,13 @@ loop needs to resume *bitwise identically*:
   permutation/negative-sampling stream the uninterrupted run would have),
 * a ``step`` counter and a JSON-safe ``extra`` dict (e.g. loss history).
 
+Sparse-gradient training changes nothing here: the lazy optimizers in
+:mod:`repro.autograd.optim` keep full-size dense state arrays (velocity,
+accumulators, moments), so ``state_dict`` layouts — and therefore the
+checkpoint format — are identical whether a run uses sparse row updates
+or ``dense_updates=True``, and snapshots from either mode resume the
+other.
+
 :class:`Checkpointer` adds the policy layer: periodic saves, atomic
 writes (tmp file + rename), pruning to the newest ``keep`` snapshots, and
 resume-from-latest.  All failure modes raise

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigError
 from repro.core.rng import ensure_rng
+from repro.runtime.guards import raw_grad
 
 __all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultInjector", "InjectedFault"]
 
@@ -113,8 +114,12 @@ class FaultInjector:
             self.injected.append(fault)
             if fault.kind == "nan_grad":
                 for p in params:
-                    if p.grad is not None:
-                        p.grad[...] = np.nan
+                    g = raw_grad(p)
+                    if g is None:
+                        continue
+                    # Poison the stored entries — for sparse row gradients
+                    # that is every touched row, without densifying.
+                    (g if isinstance(g, np.ndarray) else g.vals)[...] = np.nan
             elif fault.kind == "stall":
                 self.sleep(fault.seconds)
             else:  # "raise"

@@ -2,8 +2,12 @@
 
 The functions here operate on anything with ``.data`` / ``.grad`` NumPy
 array attributes (``autograd.Tensor``/``nn.Parameter``), so the autograd
-package can depend on this module without a cycle.  Three layers of
-protection:
+package can depend on this module without a cycle.  Gradients may also be
+row-sparse (:class:`repro.autograd.sparse.SparseGrad`, duck-typed here to
+avoid the import cycle): every guard then inspects only the stored rows —
+after coalescing, so duplicate-row sums see exactly what the dense
+gradient would contain — and never materializes the dense table.  Three
+layers of protection:
 
 * **Gradient hygiene** — :func:`has_nonfinite_grad`,
   :func:`zero_nonfinite_grads`, and global-norm :func:`clip_grad_norm`
@@ -24,6 +28,7 @@ import numpy as np
 from repro.core.exceptions import ConfigError, TrainingDivergedError
 
 __all__ = [
+    "raw_grad",
     "grad_norm",
     "clip_grad_norm",
     "has_nonfinite_grad",
@@ -37,12 +42,32 @@ __all__ = [
 NONFINITE_POLICIES: tuple[str, ...] = ("off", "skip", "zero", "raise")
 
 
+def raw_grad(p):
+    """The gradient in raw form: dense array, sparse rows, or ``None``.
+
+    Prefers ``.raw_grad`` (autograd tensors, which may hold a sparse row
+    gradient) over ``.grad`` so guards never force densification.
+    """
+    return p.raw_grad if hasattr(p, "raw_grad") else p.grad
+
+
+def _grad_entries(grad) -> np.ndarray:
+    """The array of gradient entries to inspect: the dense array itself, or
+    a sparse grad's coalesced rows (duplicate rows summed first, so the
+    inspected values match the dense equivalent)."""
+    if isinstance(grad, np.ndarray):
+        return grad
+    return grad.coalesce().vals
+
+
 def grad_norm(params) -> float:
     """Global L2 norm over all gradients (params without grads contribute 0)."""
     total = 0.0
     for p in params:
-        if p.grad is not None:
-            total += float(np.sum(p.grad * p.grad))
+        g = raw_grad(p)
+        if g is not None:
+            entries = _grad_entries(g)
+            total += float(np.sum(entries * entries))
     return math.sqrt(total)
 
 
@@ -58,28 +83,33 @@ def clip_grad_norm(params, max_norm: float) -> float:
     if math.isfinite(norm) and norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for p in params:
-            if p.grad is not None:
-                p.grad *= scale
+            g = raw_grad(p)
+            if g is not None:
+                _grad_entries(g)[...] *= scale
     return norm
 
 
 def has_nonfinite_grad(params) -> bool:
     """Whether any gradient contains NaN or +/-Inf."""
-    return any(
-        p.grad is not None and not np.isfinite(p.grad).all() for p in params
-    )
+    for p in params:
+        g = raw_grad(p)
+        if g is not None and not np.isfinite(_grad_entries(g)).all():
+            return True
+    return False
 
 
 def zero_nonfinite_grads(params) -> int:
     """Replace NaN/Inf gradient entries with 0 in place; returns entry count."""
     repaired = 0
     for p in params:
-        if p.grad is None:
+        g = raw_grad(p)
+        if g is None:
             continue
-        bad = ~np.isfinite(p.grad)
+        entries = _grad_entries(g)
+        bad = ~np.isfinite(entries)
         if bad.any():
             repaired += int(bad.sum())
-            p.grad[bad] = 0.0
+            entries[bad] = 0.0
     return repaired
 
 
