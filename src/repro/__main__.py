@@ -7,6 +7,7 @@ Usage::
     python -m repro study e1           # run a comparative study (e1..e8)
     python -m repro scenarios          # list dataset generators
     python -m repro models             # list implemented models by family
+    python -m repro serve-demo         # chaos replay through the serving layer
 """
 
 from __future__ import annotations
@@ -87,6 +88,24 @@ def _cmd_models() -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve_demo(args) -> str:
+    from repro.serving.demo import (
+        build_demo_service,
+        demo_report,
+        run_replay,
+        run_smoke,
+    )
+
+    if args.smoke:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+        return run_smoke(seeds=seeds, num_requests=args.requests)
+    service, clock, __ = build_demo_service(
+        args.seed, args.requests, fault_rate=args.fault_rate
+    )
+    traces = run_replay(service, clock, args.seed, args.requests)
+    return demo_report(service, traces)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="KG-based recommender systems survey reproduction"
@@ -105,6 +124,22 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("scenarios", help="list synthetic dataset generators")
     sub.add_parser("models", help="list implemented models by family")
 
+    p_serve = sub.add_parser(
+        "serve-demo",
+        help="seeded chaos traffic replay through the fault-tolerant serving layer",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--requests", type=int, default=300)
+    p_serve.add_argument("--fault-rate", type=float, default=0.10)
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="assert chaos invariants over a seed matrix (CI mode)",
+    )
+    p_serve.add_argument(
+        "--seeds", default="0,1,2",
+        help="comma-separated seed matrix for --smoke",
+    )
+
     p_report = sub.add_parser("report", help="build the full reproduction report")
     p_report.add_argument("--output", "-o", default=None, help="write to file")
     p_report.add_argument("--full", action="store_true", help="full-size studies")
@@ -121,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_scenarios())
     elif args.command == "models":
         print(_cmd_models())
+    elif args.command == "serve-demo":
+        print(_cmd_serve_demo(args))
     elif args.command == "report":
         from repro.experiments.report import build_report, write_report
 

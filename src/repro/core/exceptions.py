@@ -38,3 +38,31 @@ class TrainingDivergedError(KgrecError):
 
 class CheckpointError(KgrecError):
     """A training checkpoint could not be written, read, or restored."""
+
+
+class ServingError(KgrecError):
+    """Base class for errors raised at the online serving boundary."""
+
+
+class RequestError(ServingError):
+    """A serve request failed validation (unknown ids, malformed k, ...)."""
+
+
+class DeadlineExceeded(ServingError):
+    """A request overran its per-request deadline budget."""
+
+
+class Overloaded(ServingError):
+    """The admission queue is full; the request was shed, not queued."""
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open; calls to the protected model are refused."""
+
+
+class ModelUnavailableError(ServingError):
+    """No live model is registered (or every fallback rung failed)."""
+
+
+class PromotionError(ServingError):
+    """A candidate model failed its canary probe and was not promoted."""

@@ -24,15 +24,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from .checkpoint import Checkpoint, Checkpointer, load_checkpoint, save_checkpoint
-from .faults import FAULT_KINDS, Fault, FaultInjector, FaultPlan, InjectedFault
+from .faults import (
+    FAULT_KINDS,
+    SERVING_FAULT_KINDS,
+    TRAINING_FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
 from .guards import (
     NONFINITE_POLICIES,
     DivergenceDetector,
+    ScoreReport,
     check_finite_params,
     clip_grad_norm,
     grad_norm,
     has_nonfinite_grad,
     raw_grad,
+    validate_scores,
     zero_nonfinite_grads,
 )
 from .retry import Attempt, RetryPolicy
@@ -44,6 +54,8 @@ __all__ = [
     "has_nonfinite_grad",
     "zero_nonfinite_grads",
     "check_finite_params",
+    "validate_scores",
+    "ScoreReport",
     "NONFINITE_POLICIES",
     "DivergenceDetector",
     "RetryPolicy",
@@ -57,6 +69,8 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "FAULT_KINDS",
+    "TRAINING_FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
     "TrainingRuntime",
 ]
 

@@ -248,9 +248,29 @@ class Checkpointer:
 
     # ------------------------------------------------------------------ #
     def load_latest(self) -> Checkpoint | None:
-        """The newest checkpoint, or ``None`` when the directory is empty."""
-        path = self.latest_path()
-        return load_checkpoint(path) if path is not None else None
+        """The newest *loadable* checkpoint, or ``None`` for an empty dir.
+
+        A truncated or corrupt file (e.g. the process died mid-write
+        outside the atomic-rename path, or the disk ate it) must not abort
+        resume: candidates are tried newest-first and unreadable ones are
+        skipped.  Only when every existing checkpoint fails to load does a
+        :class:`~repro.core.exceptions.CheckpointError` propagate, carrying
+        each file's failure.
+        """
+        paths = self.paths()
+        if not paths:
+            return None
+        failures: list[str] = []
+        for path in reversed(paths):
+            try:
+                return load_checkpoint(path)
+            except (CheckpointError, FileNotFoundError) as exc:
+                failures.append(f"{path.name}: {exc}")
+        raise CheckpointError(
+            "no loadable checkpoint in "
+            f"{self.directory} ({len(failures)} candidate(s) failed): "
+            + "; ".join(failures)
+        )
 
     def restore_latest(self, params, optimizer=None, rng=None) -> Checkpoint | None:
         """Load and apply the newest checkpoint; returns it (or ``None``)."""

@@ -14,6 +14,20 @@ and parameter list right before ``optimizer.step()``:
 * ``"stall"`` — invoke the injector's ``sleep`` callable for
   ``Fault.seconds`` (exercises time budgets; tests pass a fake clock's
   ``advance`` so nothing actually sleeps).
+
+The serving layer (:mod:`repro.serving`) reuses the same plan/injector
+machinery with *serving-shaped* faults, where ``step`` is the global
+request index instead of the training step:
+
+* ``"latency"`` — invoke ``sleep`` for ``Fault.seconds`` while a model is
+  scoring (exercises deadlines and load shedding),
+* ``"exception"`` — raise :class:`InjectedFault` from inside a model call
+  (exercises circuit breakers and fallback chains),
+* ``"nan_scores"`` — poison the model's score vector with NaN (exercises
+  :func:`~repro.runtime.guards.validate_scores` at the serving boundary).
+
+Training hooks ignore serving kinds and vice versa, so one plan can drive
+both layers.
 """
 
 from __future__ import annotations
@@ -28,9 +42,19 @@ from repro.core.exceptions import ConfigError
 from repro.core.rng import ensure_rng
 from repro.runtime.guards import raw_grad
 
-__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultInjector", "InjectedFault"]
+__all__ = [
+    "FAULT_KINDS",
+    "TRAINING_FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+]
 
-FAULT_KINDS: tuple[str, ...] = ("nan_grad", "raise", "stall")
+TRAINING_FAULT_KINDS: tuple[str, ...] = ("nan_grad", "raise", "stall")
+SERVING_FAULT_KINDS: tuple[str, ...] = ("latency", "exception", "nan_scores")
+FAULT_KINDS: tuple[str, ...] = TRAINING_FAULT_KINDS + SERVING_FAULT_KINDS
 
 
 class InjectedFault(RuntimeError):
@@ -111,6 +135,8 @@ class FaultInjector:
 
     def before_step(self, step: int, params=()) -> None:
         for fault in self.plan.at(step):
+            if fault.kind not in TRAINING_FAULT_KINDS:
+                continue
             self.injected.append(fault)
             if fault.kind == "nan_grad":
                 for p in params:
@@ -124,3 +150,30 @@ class FaultInjector:
                 self.sleep(fault.seconds)
             else:  # "raise"
                 raise InjectedFault(f"injected fault at step {step}")
+
+    # ------------------------------------------------------------------ #
+    # serving-shaped hooks (step = global request index)
+    # ------------------------------------------------------------------ #
+    def on_request(self, step: int) -> None:
+        """Fire ``latency``/``exception`` faults planned for request ``step``.
+
+        Call from inside the protected model call, so the injected delay is
+        attributed to scoring (deadline checks see it) and the injected
+        exception escapes the model, not the service.
+        """
+        for fault in self.plan.at(step):
+            if fault.kind == "latency":
+                self.injected.append(fault)
+                self.sleep(fault.seconds)
+            elif fault.kind == "exception":
+                self.injected.append(fault)
+                raise InjectedFault(f"injected serving fault at request {step}")
+
+    def corrupt_scores(self, step: int, scores: np.ndarray) -> np.ndarray:
+        """Apply any ``nan_scores`` fault planned for request ``step``."""
+        for fault in self.plan.at(step):
+            if fault.kind == "nan_scores":
+                self.injected.append(fault)
+                scores = np.asarray(scores, dtype=np.float64).copy()
+                scores[...] = np.nan
+        return scores

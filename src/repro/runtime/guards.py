@@ -22,6 +22,7 @@ layers of protection:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,6 +35,8 @@ __all__ = [
     "has_nonfinite_grad",
     "zero_nonfinite_grads",
     "check_finite_params",
+    "validate_scores",
+    "ScoreReport",
     "NONFINITE_POLICIES",
     "DivergenceDetector",
 ]
@@ -121,6 +124,58 @@ def check_finite_params(params, context: str = "") -> None:
             raise TrainingDivergedError(
                 f"parameter {pos} contains non-finite values{where}"
             )
+
+
+@dataclass(frozen=True)
+class ScoreReport:
+    """Structured verdict on one ``score_all`` output vector.
+
+    ``ok`` is true iff the array is 1-d with the expected length and every
+    entry is finite.  The counts let callers distinguish a model that
+    produced a few NaNs from one that returned garbage wholesale.
+    """
+
+    ok: bool
+    expected_items: int
+    actual_shape: tuple[int, ...]
+    num_nan: int = 0
+    num_inf: int = 0
+    reason: str = ""
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"ok ({self.expected_items} finite scores)"
+        return self.reason
+
+
+def validate_scores(scores, num_items: int) -> ScoreReport:
+    """Check a ``score_all`` output: 1-d, ``num_items`` long, all finite.
+
+    Never raises — returns a :class:`ScoreReport` so both the serving
+    boundary and the hot-swap canary probe can decide policy themselves.
+    """
+    arr = np.asarray(scores)
+    shape = tuple(int(s) for s in arr.shape)
+    if arr.ndim != 1 or shape != (num_items,):
+        return ScoreReport(
+            ok=False, expected_items=num_items, actual_shape=shape,
+            reason=f"expected shape ({num_items},), got {shape}",
+        )
+    if not np.issubdtype(arr.dtype, np.number):
+        return ScoreReport(
+            ok=False, expected_items=num_items, actual_shape=shape,
+            reason=f"expected numeric scores, got dtype {arr.dtype}",
+        )
+    finite = np.isfinite(arr)
+    if not finite.all():
+        num_nan = int(np.isnan(arr).sum())
+        num_inf = int(np.isinf(arr).sum())
+        return ScoreReport(
+            ok=False, expected_items=num_items, actual_shape=shape,
+            num_nan=num_nan, num_inf=num_inf,
+            reason=f"non-finite scores: {num_nan} NaN, {num_inf} Inf",
+        )
+    return ScoreReport(ok=True, expected_items=num_items, actual_shape=shape)
 
 
 class DivergenceDetector:

@@ -24,7 +24,13 @@ Three usage forms::
 
 The per-attempt ``deadline`` guards against retrying operations that are
 expensive to repeat: when a *failed* attempt took longer than ``deadline``
-seconds, the policy gives up immediately instead of backing off.
+seconds, the policy gives up immediately instead of backing off.  The
+optional ``total_budget`` is the cumulative wall-clock cap across *all*
+attempts and backoff sleeps: before each backoff the policy checks that
+the elapsed time plus the pending sleep still fits the budget and
+otherwise gives up — so a slow-but-retryable failure chain can never
+exceed an overall SLO (the serving layer uses this as its per-request
+retry guard).
 """
 
 from __future__ import annotations
@@ -47,10 +53,17 @@ class Attempt:
     attempt overran the policy deadline.
     """
 
-    def __init__(self, policy: "RetryPolicy", number: int, delay_after: float) -> None:
+    def __init__(
+        self,
+        policy: "RetryPolicy",
+        number: int,
+        delay_after: float,
+        loop_start: float | None = None,
+    ) -> None:
         self.policy = policy
         self.number = number
         self._delay_after = delay_after
+        self._loop_start = loop_start
         self.succeeded = False
         self.elapsed = 0.0
         self.error: BaseException | None = None
@@ -74,6 +87,10 @@ class Attempt:
             and self.elapsed > self.policy.deadline
         ):
             return False
+        if self.policy.total_budget is not None and self._loop_start is not None:
+            spent = self.policy.clock() - self._loop_start
+            if spent + self._delay_after > self.policy.total_budget:
+                return False
         self.policy.sleep(self._delay_after)
         return True  # swallow and let the loop retry
 
@@ -99,6 +116,13 @@ class RetryPolicy:
     deadline:
         Optional per-attempt wall-clock budget in seconds.  A failed
         attempt that ran longer is not retried.
+    total_budget:
+        Optional cumulative wall-clock cap in seconds across all attempts
+        and backoff sleeps.  Checked before each backoff sleep: when the
+        time already spent plus the pending sleep would exceed the budget,
+        the policy gives up and the last error propagates.  This bounds
+        the worst-case latency of a retried operation (per-request SLO),
+        which the per-attempt ``deadline`` alone cannot.
     retry_on:
         Exception class(es) considered transient; everything else
         propagates immediately.
@@ -116,6 +140,7 @@ class RetryPolicy:
         jitter: float = 0.5,
         seed: int = 0,
         deadline: float | None = None,
+        total_budget: float | None = None,
         retry_on: type[BaseException] | tuple[type[BaseException], ...] = Exception,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
@@ -130,6 +155,8 @@ class RetryPolicy:
             raise ConfigError("jitter must lie in [0, 1]")
         if deadline is not None and deadline <= 0:
             raise ConfigError("deadline must be positive")
+        if total_budget is not None and total_budget <= 0:
+            raise ConfigError("total_budget must be positive")
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.multiplier = multiplier
@@ -137,6 +164,7 @@ class RetryPolicy:
         self.jitter = jitter
         self.seed = seed
         self.deadline = deadline
+        self.total_budget = total_budget
         self.retry_on = retry_on if isinstance(retry_on, tuple) else (retry_on,)
         self.sleep = sleep
         self.clock = clock
@@ -155,8 +183,9 @@ class RetryPolicy:
 
     def __iter__(self):
         schedule = self.delays() + [0.0]
+        loop_start = self.clock() if self.total_budget is not None else None
         for number in range(1, self.max_attempts + 1):
-            attempt = Attempt(self, number, schedule[number - 1])
+            attempt = Attempt(self, number, schedule[number - 1], loop_start)
             yield attempt
             if attempt.succeeded:
                 return

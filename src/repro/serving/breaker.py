@@ -1,0 +1,189 @@
+"""Per-model circuit breakers for the serving layer.
+
+A :class:`CircuitBreaker` guards one scoring backend with the classic
+three-state machine:
+
+* **closed** — calls flow through; failures are counted both as a
+  consecutive streak and in a rolling outcome window.  Either trigger
+  (``failure_threshold`` consecutive errors, or the window's failure rate
+  reaching ``failure_rate_threshold`` once ``window`` calls have been
+  observed) opens the breaker.
+* **open** — calls are refused (:meth:`allow` returns ``False``) until
+  ``recovery_time`` seconds have elapsed on the injected clock, then the
+  breaker moves to half-open.
+* **half-open** — up to ``half_open_probes`` trial calls are admitted.
+  Any failure reopens the breaker (restarting the cooldown); that many
+  consecutive successes close it and clear all failure history.
+
+Time comes exclusively from the injected ``clock``, so the whole state
+machine is deterministic under seed and testable without real sleeps.
+Every transition is recorded as a :class:`BreakerTransition` for the
+service's degradation report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.exceptions import ConfigError
+
+__all__ = ["BreakerTransition", "CircuitBreaker"]
+
+#: The three breaker states.
+STATES: tuple[str, ...] = ("closed", "open", "half_open")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, stamped with the injected clock."""
+
+    at: float
+    from_state: str
+    to_state: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"t={self.at:.3f} {self.from_state} -> {self.to_state} ({self.reason})"
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker with dual failure triggers.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive recorded failures that open a closed breaker.
+    failure_rate_threshold, window:
+        Alternative trigger: once ``window`` outcomes have been observed,
+        a failure fraction ``>= failure_rate_threshold`` over the last
+        ``window`` calls also opens the breaker (catches steady partial
+        failure that never produces a long streak).
+    recovery_time:
+        Seconds the breaker stays open before admitting half-open probes.
+    half_open_probes:
+        Trial calls admitted in half-open; that many consecutive
+        successes close the breaker, any failure reopens it.
+    clock:
+        Injectable monotonic time source.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        failure_rate_threshold: float = 0.5,
+        window: int = 20,
+        recovery_time: float = 30.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if not 0.0 < failure_rate_threshold <= 1.0:
+            raise ConfigError("failure_rate_threshold must lie in (0, 1]")
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if recovery_time <= 0:
+            raise ConfigError("recovery_time must be positive")
+        if half_open_probes < 1:
+            raise ConfigError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.failure_rate_threshold = failure_rate_threshold
+        self.window = window
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+
+        self._state = "closed"
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._half_open_successes = 0
+        self.transitions: list[BreakerTransition] = []
+        self.rejections = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when cooldown elapsed."""
+        if (
+            self._state == "open"
+            and self.clock() - self._opened_at >= self.recovery_time
+        ):
+            self._move("half_open", "recovery_time elapsed")
+        return self._state
+
+    def _move(self, to_state: str, reason: str) -> None:
+        self.transitions.append(
+            BreakerTransition(self.clock(), self._state, to_state, reason)
+        )
+        self._state = to_state
+        if to_state == "open":
+            self._opened_at = self.clock()
+        if to_state == "half_open":
+            self._half_open_inflight = 0
+            self._half_open_successes = 0
+        if to_state == "closed":
+            self._outcomes.clear()
+            self._consecutive_failures = 0
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts rejections)."""
+        state = self.state  # may advance open -> half_open
+        if state == "closed":
+            return True
+        if state == "half_open":
+            if self._half_open_inflight < self.half_open_probes:
+                self._half_open_inflight += 1
+                return True
+            self.rejections += 1
+            return False
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.half_open_probes:
+                self._move("closed", f"{self._half_open_successes} probe successes")
+            return
+        self._consecutive_failures = 0
+        self._outcomes.append(False)
+
+    def record_failure(self, reason: str = "error") -> None:
+        if self.state == "half_open":
+            self._move("open", f"probe failed ({reason})")
+            return
+        if self._state != "closed":  # open: late failure report, nothing to count
+            return
+        self._consecutive_failures += 1
+        self._outcomes.append(True)
+        if self._consecutive_failures >= self.failure_threshold:
+            self._move(
+                "open", f"{self._consecutive_failures} consecutive failures ({reason})"
+            )
+            return
+        if len(self._outcomes) >= self.window:
+            rate = sum(self._outcomes) / len(self._outcomes)
+            if rate >= self.failure_rate_threshold:
+                self._move(
+                    "open",
+                    f"failure rate {rate:.2f} >= {self.failure_rate_threshold:.2f} "
+                    f"over last {len(self._outcomes)} calls ({reason})",
+                )
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-safe view for health probes and the degradation report."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "window_failures": int(sum(self._outcomes)),
+            "window_calls": len(self._outcomes),
+            "rejections": self.rejections,
+            "transitions": len(self.transitions),
+        }

@@ -1,0 +1,46 @@
+"""Per-endpoint counters and latency percentiles for the serving layer.
+
+All timing numbers come from the service's injected clock, so under a
+:class:`~repro.serving.clock.ManualClock` the latency distribution — and
+therefore the whole metrics snapshot — is deterministic under seed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Counters plus a latency reservoir with percentile queries."""
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self._latencies: list[float] = []
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(float(seconds))
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._latencies)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (NaN before any observation)."""
+        if not self._latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._latencies), q))
+
+    def snapshot(self) -> dict:
+        """JSON-safe view: every counter plus p50/p99 latency."""
+        out = {name: int(count) for name, count in sorted(self.counters.items())}
+        out["latency_p50"] = self.latency_percentile(50.0)
+        out["latency_p99"] = self.latency_percentile(99.0)
+        out["latency_observations"] = self.num_observations
+        return out

@@ -1,0 +1,151 @@
+"""Model registry with validate-then-promote hot swap.
+
+The registry owns the *live* model a :class:`RecommenderService` scores
+with.  Swapping in a new model is an atomic validate-then-promote:
+
+1. the candidate runs a **canary probe** — ``score_all`` over a fixed
+   batch of canary users, every output checked with
+   :func:`repro.runtime.guards.validate_scores` (finite + shape);
+2. only if every canary vector passes does the candidate become live
+   (one reference assignment, so readers never observe a half-swapped
+   state);
+3. any failure raises :class:`~repro.core.exceptions.PromotionError`
+   and leaves the previous live model untouched — rollback is the
+   absence of the swap.
+
+The previous model is retained so :meth:`rollback` can demote a
+promotion that passed its canary but misbehaves under real traffic
+(e.g. its circuit breaker opens).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.exceptions import ModelUnavailableError, PromotionError
+from repro.core.recommender import Recommender
+from repro.runtime.guards import ScoreReport, validate_scores
+
+__all__ = ["PromotionRecord", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class PromotionRecord:
+    """Outcome of one promotion attempt."""
+
+    at: float
+    name: str
+    promoted: bool
+    canary_users: tuple[int, ...]
+    reason: str = ""
+    reports: tuple[ScoreReport, ...] = field(default=())
+
+    def describe(self) -> str:
+        verdict = "promoted" if self.promoted else "REJECTED"
+        out = f"t={self.at:.3f} {self.name!r} {verdict}"
+        if self.reason:
+            out += f": {self.reason}"
+        return out
+
+
+class ModelRegistry:
+    """Holds the live model and the promotion/rollback history."""
+
+    def __init__(
+        self,
+        num_items: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.num_items = int(num_items)
+        self.clock = clock
+        self._live: tuple[str, Recommender] | None = None
+        self._previous: tuple[str, Recommender] | None = None
+        self.history: list[PromotionRecord] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def has_live(self) -> bool:
+        return self._live is not None
+
+    @property
+    def live_name(self) -> str:
+        name, __ = self._require_live()
+        return name
+
+    @property
+    def live(self) -> Recommender:
+        __, model = self._require_live()
+        return model
+
+    def _require_live(self) -> tuple[str, Recommender]:
+        if self._live is None:
+            raise ModelUnavailableError("no live model has been promoted")
+        return self._live
+
+    # ------------------------------------------------------------------ #
+    def probe(
+        self, model: Recommender, canary_users: Sequence[int]
+    ) -> list[ScoreReport]:
+        """Canary smoke probe: one validated ``score_all`` per canary user.
+
+        A model call that *raises* is reported as a failed
+        :class:`ScoreReport` rather than propagating, so a crashing
+        candidate is rejected the same way a NaN-scoring one is.
+        """
+        reports: list[ScoreReport] = []
+        for user in canary_users:
+            try:
+                scores = model.score_all(int(user))
+            except Exception as exc:  # noqa: BLE001 - probe must not propagate
+                reports.append(
+                    ScoreReport(
+                        ok=False, expected_items=self.num_items, actual_shape=(),
+                        reason=f"score_all({user}) raised {type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            reports.append(validate_scores(scores, self.num_items))
+        return reports
+
+    def promote(
+        self,
+        name: str,
+        model: Recommender,
+        canary_users: Sequence[int],
+    ) -> PromotionRecord:
+        """Validate ``model`` on the canary batch, then atomically swap it in."""
+        canary = tuple(int(u) for u in canary_users)
+        if not canary:
+            raise PromotionError("canary batch is empty; refusing blind promotion")
+        reports = self.probe(model, canary)
+        bad = [(u, r) for u, r in zip(canary, reports) if not r.ok]
+        if bad:
+            reason = "; ".join(f"user {u}: {r.describe()}" for u, r in bad[:3])
+            if len(bad) > 3:
+                reason += f" (+{len(bad) - 3} more)"
+            record = PromotionRecord(
+                at=self.clock(), name=name, promoted=False,
+                canary_users=canary, reason=reason, reports=tuple(reports),
+            )
+            self.history.append(record)
+            raise PromotionError(
+                f"candidate {name!r} failed canary probe on "
+                f"{len(bad)}/{len(canary)} users: {reason}"
+            )
+        self._previous = self._live
+        self._live = (name, model)
+        record = PromotionRecord(
+            at=self.clock(), name=name, promoted=True,
+            canary_users=canary, reports=tuple(reports),
+        )
+        self.history.append(record)
+        return record
+
+    def rollback(self) -> str:
+        """Demote the live model back to its predecessor; returns its name."""
+        if self._previous is None:
+            raise ModelUnavailableError("no previous model to roll back to")
+        self._live, self._previous = self._previous, None
+        return self._live[0]

@@ -241,6 +241,51 @@ class TestRetryPolicy:
             policy.call(slow_and_broken)
         assert len(calls) == 1  # not worth retrying an over-deadline attempt
 
+    def test_total_budget_stops_before_overrunning_slo(self):
+        # Manual clock: each attempt takes 1s, backoff is a flat 10s.  With
+        # a 15s total budget the first backoff fits (1 + 10 = 11s) but the
+        # second would not (12 + 10 = 22s), so exactly two attempts run.
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, multiplier=1.0, jitter=0.0,
+            total_budget=15.0, sleep=sleep, clock=clock,
+        )
+        calls = []
+
+        def slow_and_broken():
+            calls.append(1)
+            now[0] += 1.0
+            raise OSError("still broken")
+
+        with pytest.raises(OSError):
+            policy.call(slow_and_broken)
+        assert len(calls) == 2
+        assert now[0] <= 15.0  # the SLO was never exceeded
+
+    def test_total_budget_unlimited_by_default(self):
+        now = [0.0]
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=10.0, multiplier=1.0, jitter=0.0,
+            sleep=lambda s: now.__setitem__(0, now[0] + s),
+            clock=lambda: now[0],
+        )
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise OSError("nope")
+
+        with pytest.raises(OSError):
+            policy.call(broken)
+        assert len(calls) == 4  # every attempt ran, however long the backoff
+
     def test_config_validation(self):
         with pytest.raises(ConfigError):
             RetryPolicy(max_attempts=0)
@@ -248,6 +293,8 @@ class TestRetryPolicy:
             RetryPolicy(jitter=2.0)
         with pytest.raises(ConfigError):
             RetryPolicy(deadline=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(total_budget=0.0)
 
 
 # ---------------------------------------------------------------------- #
@@ -303,6 +350,32 @@ class TestCheckpoint:
     def test_restore_latest_empty_directory(self, tmp_path):
         ck = Checkpointer(tmp_path)
         assert ck.restore_latest(_params([1.0])) is None
+
+    def test_resume_skips_truncated_latest(self, tmp_path):
+        params = _params([1.0])
+        ck = Checkpointer(tmp_path, every=1, keep=3)
+        for step in range(3):
+            params[0].data[:] = float(step)
+            ck.maybe_save(step, params)
+        # truncate the newest file, as if the process died mid-write
+        newest = ck.latest_path()
+        with open(newest, "r+b") as handle:
+            handle.truncate(40)
+        restored = ck.load_latest()
+        assert restored.step == 1  # fell back to the newest *loadable* one
+        target = _params([0.0])
+        ck.restore_latest(target)
+        np.testing.assert_array_equal(target[0].data, [1.0])
+
+    def test_resume_raises_when_every_checkpoint_is_corrupt(self, tmp_path):
+        params = _params([1.0])
+        ck = Checkpointer(tmp_path, every=1, keep=3)
+        for step in range(2):
+            ck.maybe_save(step, params)
+        for path in ck.paths():
+            path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            ck.load_latest()
 
 
 # ---------------------------------------------------------------------- #
