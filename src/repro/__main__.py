@@ -8,6 +8,12 @@ Usage::
     python -m repro scenarios          # list dataset generators
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
+    python -m repro trace-report f.jsonl   # render a --trace-out capture
+
+``study`` and ``serve-demo`` accept ``--trace-out <path>`` to export the
+run's telemetry (spans + metrics) as JSONL; ``trace-report`` renders such
+a capture as a span tree with self/total times, hotspots, and outcome
+summaries (``--check`` schema-validates instead, for CI).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ def _cmd_figure1() -> str:
     return render_figure1()
 
 
-def _cmd_study(name: str, seed: int) -> str:
+def _cmd_study(name: str, seed: int, trace_out: str | None = None) -> str:
     from repro.experiments import comparative
     from repro.experiments.harness import results_table
 
@@ -51,16 +57,27 @@ def _cmd_study(name: str, seed: int) -> str:
     }
     if name not in runners:
         raise SystemExit(f"unknown study {name!r}; choose from {sorted(runners)}")
-    result = runners[name](seed=seed)
+    trace_note = ""
+    if trace_out:
+        # Activating here is what routes run_panel, KGE fits, optimizer
+        # steps, and negative sampling inside the study into one capture.
+        from repro.telemetry import Telemetry, activated
+
+        tel = Telemetry()
+        with activated(tel):
+            result = runners[name](seed=seed)
+        trace_note = f"\ntrace capture written to {tel.export_jsonl(trace_out)}"
+    else:
+        result = runners[name](seed=seed)
     if result and hasattr(result[0], "model") and hasattr(result[0], "values"):
-        return results_table(result, title=f"Study {name.upper()}")
+        return results_table(result, title=f"Study {name.upper()}") + trace_note
     lines = [f"Study {name.upper()}"]
     for row in result:
         lines.append(
             "  " + "  ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
                              for k, v in row.items())
         )
-    return "\n".join(lines)
+    return "\n".join(lines) + trace_note
 
 
 def _cmd_scenarios() -> str:
@@ -98,12 +115,32 @@ def _cmd_serve_demo(args) -> str:
 
     if args.smoke:
         seeds = tuple(int(s) for s in args.seeds.split(","))
-        return run_smoke(seeds=seeds, num_requests=args.requests)
+        return run_smoke(
+            seeds=seeds, num_requests=args.requests, trace_out=args.trace_out
+        )
     service, clock, __ = build_demo_service(
-        args.seed, args.requests, fault_rate=args.fault_rate
+        args.seed, args.requests, fault_rate=args.fault_rate,
+        trace=args.trace_out is not None,
     )
     traces = run_replay(service, clock, args.seed, args.requests)
-    return demo_report(service, traces)
+    report = demo_report(service, traces)
+    if args.trace_out:
+        path = service.telemetry.export_jsonl(args.trace_out)
+        report += f"\n\ntrace capture written to {path}"
+    return report
+
+
+def _cmd_trace_report(args) -> str:
+    from repro.telemetry import check_trace, trace_report
+
+    if args.check:
+        errors = check_trace(args.path)
+        if errors:
+            raise SystemExit(
+                "trace schema check FAILED:\n" + "\n".join(f"  {e}" for e in errors)
+            )
+        return f"trace schema check OK: {args.path}"
+    return trace_report(args.path, top=args.top)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
     p_study = sub.add_parser("study", help="run a comparative study")
     p_study.add_argument("name", help="e1, e1b, e2, ..., e8")
     p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export the study's telemetry capture (spans + metrics) as JSONL",
+    )
 
     sub.add_parser("scenarios", help="list synthetic dataset generators")
     sub.add_parser("models", help="list implemented models by family")
@@ -139,6 +180,22 @@ def main(argv: list[str] | None = None) -> int:
         "--seeds", default="0,1,2",
         help="comma-separated seed matrix for --smoke",
     )
+    p_serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="run traced and export the telemetry capture as JSONL "
+        "(with --smoke: also assert trace determinism + outcome reconciliation)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="render a --trace-out JSONL capture: span tree, hotspots, outcomes",
+    )
+    p_trace.add_argument("path", help="capture file written by --trace-out")
+    p_trace.add_argument("--top", type=int, default=10, help="hotspot rows")
+    p_trace.add_argument(
+        "--check", action="store_true",
+        help="schema-validate the capture instead of rendering (CI mode)",
+    )
 
     p_report = sub.add_parser("report", help="build the full reproduction report")
     p_report.add_argument("--output", "-o", default=None, help="write to file")
@@ -151,13 +208,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figure1":
         print(_cmd_figure1())
     elif args.command == "study":
-        print(_cmd_study(args.name, args.seed))
+        print(_cmd_study(args.name, args.seed, args.trace_out))
     elif args.command == "scenarios":
         print(_cmd_scenarios())
     elif args.command == "models":
         print(_cmd_models())
     elif args.command == "serve-demo":
         print(_cmd_serve_demo(args))
+    elif args.command == "trace-report":
+        print(_cmd_trace_report(args))
     elif args.command == "report":
         from repro.experiments.report import build_report, write_report
 

@@ -52,6 +52,8 @@ from repro.runtime.guards import (
     zero_nonfinite_grads,
 )
 
+from repro.telemetry.base import get_active
+
 from .sparse import SparseGrad
 from .tensor import Tensor
 
@@ -95,7 +97,28 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> bool:
-        """Apply guards, then the update; ``False`` if the step was skipped."""
+        """Apply guards, then the update; ``False`` if the step was skipped.
+
+        Reports to the *active* telemetry when one is installed (an
+        ``optim/step`` span plus sparse-vs-dense update counters); the
+        disabled path is a single attribute check.
+        """
+        tel = get_active()
+        if not tel.enabled:
+            return self._step()
+        span = tel.begin("optim/step", optimizer=type(self).__name__)
+        try:
+            applied = self._step()
+        except Exception as exc:
+            tel.end(span, applied=False, error=type(exc).__name__)
+            raise
+        self._count_update_paths(tel)
+        if not applied:
+            tel.counter("optim.skipped_steps").inc()
+        tel.end(span, applied=applied)
+        return applied
+
+    def _step(self) -> bool:
         if self.skip_nonfinite != "off" and has_nonfinite_grad(self.params):
             self.nonfinite_steps += 1
             if self.skip_nonfinite == "raise":
@@ -109,6 +132,31 @@ class Optimizer:
             clip_grad_norm(self.params, self.max_grad_norm)
         self._apply()
         return True
+
+    def _count_update_paths(self, tel) -> None:
+        """Tally which parameters took the sparse lazy path this step."""
+        sparse_params = sparse_rows = dense_params = 0
+        for p in self.params:
+            g = p.raw_grad
+            if g is None:
+                continue
+            # Mirrors _sparse_grad's routing (plus SGD's momentum
+            # densification), so the counters reflect the path actually
+            # taken rather than the gradient's storage format.
+            if (
+                isinstance(g, SparseGrad)
+                and not self.dense_updates
+                and not getattr(self, "momentum", 0.0)
+            ):
+                sparse_params += 1
+                sparse_rows += int(g.rows.size)
+            else:
+                dense_params += 1
+        if sparse_params:
+            tel.counter("optim.sparse_updates").inc(sparse_params)
+            tel.counter("optim.sparse_rows").inc(sparse_rows)
+        if dense_params:
+            tel.counter("optim.dense_updates").inc(dense_params)
 
     def _apply(self) -> None:
         raise NotImplementedError

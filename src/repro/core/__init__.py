@@ -1,5 +1,6 @@
 """Core abstractions: datasets, interactions, splits, the model API."""
 
+from .clock import Clock, ManualClock, system_clock
 from .dataset import Dataset
 from .exceptions import (
     CheckpointError,
@@ -30,6 +31,9 @@ from .rng import ensure_rng, spawn
 from .splitter import cold_start_item_split, leave_one_out_split, random_split
 
 __all__ = [
+    "Clock",
+    "ManualClock",
+    "system_clock",
     "Dataset",
     "InteractionMatrix",
     "save_dataset",

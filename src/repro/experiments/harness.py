@@ -20,7 +20,7 @@ import dataclasses
 import time
 import traceback as traceback_module
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.dataset import Dataset
 from repro.core.recommender import Recommender
@@ -28,8 +28,12 @@ from repro.core.registry import get_model_class
 from repro.core.splitter import random_split
 from repro.eval.evaluator import EvalResult, Evaluator
 from repro.runtime.retry import RetryPolicy
+from repro.telemetry.base import activate, get_active
 
 from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.telemetry import Telemetry
 
 __all__ = ["run_panel", "results_table", "PanelResult", "FailureRecord"]
 
@@ -48,6 +52,10 @@ class FailureRecord:
     #: Name of the substituted fallback row in the results, when degradation
     #: was enabled and succeeded.
     fallback: str | None = None
+    #: Id of this entry's ``panel/model`` telemetry span, when the panel ran
+    #: with telemetry — lets a trace consumer join the failure to its exact
+    #: timed span (and every child span recorded during the failing fit).
+    span_id: int | None = None
 
     def describe(self) -> str:
         out = (
@@ -109,6 +117,7 @@ def run_panel(
     time_budget: float | None = None,
     fallback: str | Callable[[], Recommender] | None = None,
     clock: Callable[[], float] = time.monotonic,
+    telemetry: "Telemetry | None" = None,
 ) -> PanelResult:
     """Split ``dataset`` and evaluate every model on the identical split.
 
@@ -135,6 +144,15 @@ def run_panel(
         and recorded on the corresponding :class:`FailureRecord`.
     clock:
         Injection point for the time source (tests use a fake clock).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` (defaults to the
+        active one, so a CLI-level ``--trace-out`` covers panels run deep
+        inside a study).  Records a ``panel`` span wrapping one
+        ``panel/model`` span per entry — carrying outcome, phase,
+        error type, and attempt count, with the span id joined onto the
+        matching :class:`FailureRecord` — and is activated for the
+        duration, so model ``fit`` internals (optimizer steps, negative
+        sampling) nest underneath.
     """
     train, test = random_split(dataset, test_fraction=test_fraction, seed=seed)
     evaluator = Evaluator(
@@ -142,64 +160,93 @@ def run_panel(
     )
     policy = _resolve_retry(retry)
     fallback_entry = _resolve_fallback(fallback)
+    tel = telemetry if telemetry is not None else get_active()
+    enabled = tel.enabled
 
     results: list[EvalResult] = []
     failures: list[FailureRecord] = []
 
-    for name, factory in model_factories.items():
-        phase = "fit"
-        attempts = 0
-        start = clock()
+    if enabled:
+        previous_telemetry = activate(tel)
+        panel_span = tel.begin(
+            "panel", models=len(model_factories), seed=seed,
+        )
+    try:
+        for name, factory in model_factories.items():
+            phase = "fit"
+            attempts = 0
+            start = clock()
+            model_span = tel.begin("panel/model", model=name) if enabled else None
 
-        def fit_once() -> Recommender:
-            nonlocal attempts
-            attempts += 1
-            model = factory()
-            model.fit(train)
-            return model
+            def fit_once() -> Recommender:
+                nonlocal attempts
+                attempts += 1
+                model = factory()
+                model.fit(train)
+                return model
 
-        try:
-            model = policy.call(fit_once)
-            elapsed = clock() - start
-            if time_budget is not None and elapsed > time_budget:
-                raise TimeoutError(
-                    f"fit took {elapsed:.2f}s, budget is {time_budget:.2f}s"
-                )
-            phase = "evaluate"
-            results.append(evaluator.evaluate(model, name=name))
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            elapsed = clock() - start
-            if not isolate:
-                if hasattr(exc, "add_note"):
-                    exc.add_note(
-                        f"while running panel entry {name!r} (phase: {phase})"
+            try:
+                model = policy.call(fit_once)
+                elapsed = clock() - start
+                if time_budget is not None and elapsed > time_budget:
+                    raise TimeoutError(
+                        f"fit took {elapsed:.2f}s, budget is {time_budget:.2f}s"
                     )
-                raise
-            error_type = (
-                "TimeBudgetExceeded"
-                if isinstance(exc, TimeoutError)
-                else type(exc).__name__
-            )
-            record = FailureRecord(
-                model=name,
-                phase=phase,
-                error_type=error_type,
-                message=str(exc),
-                traceback=traceback_module.format_exc(),
-                attempts=attempts,
-                elapsed=elapsed,
-            )
-            if fallback_entry is not None:
-                fb_name, fb_factory = fallback_entry
-                row_name = f"{name} (fallback: {fb_name})"
-                try:
-                    fb_model = fb_factory()
-                    fb_model.fit(train)
-                    results.append(evaluator.evaluate(fb_model, name=row_name))
-                    record = dataclasses.replace(record, fallback=row_name)
-                except Exception:  # noqa: BLE001 - fallback is best-effort
-                    pass
-            failures.append(record)
+                phase = "evaluate"
+                results.append(evaluator.evaluate(model, name=name))
+                if model_span is not None:
+                    tel.counter("panel.models_ok").inc()
+                    tel.end(model_span, outcome="ok", attempts=attempts)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                elapsed = clock() - start
+                if not isolate:
+                    if model_span is not None:
+                        tel.end(
+                            model_span, outcome="failed", phase=phase,
+                            error_type=type(exc).__name__,
+                        )
+                    if hasattr(exc, "add_note"):
+                        exc.add_note(
+                            f"while running panel entry {name!r} (phase: {phase})"
+                        )
+                    raise
+                error_type = (
+                    "TimeBudgetExceeded"
+                    if isinstance(exc, TimeoutError)
+                    else type(exc).__name__
+                )
+                record = FailureRecord(
+                    model=name,
+                    phase=phase,
+                    error_type=error_type,
+                    message=str(exc),
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempts,
+                    elapsed=elapsed,
+                    span_id=model_span.span_id if model_span is not None else None,
+                )
+                if fallback_entry is not None:
+                    fb_name, fb_factory = fallback_entry
+                    row_name = f"{name} (fallback: {fb_name})"
+                    try:
+                        fb_model = fb_factory()
+                        fb_model.fit(train)
+                        results.append(evaluator.evaluate(fb_model, name=row_name))
+                        record = dataclasses.replace(record, fallback=row_name)
+                    except Exception:  # noqa: BLE001 - fallback is best-effort
+                        pass
+                failures.append(record)
+                if model_span is not None:
+                    tel.counter("panel.models_failed").inc()
+                    tel.end(
+                        model_span, outcome="failed", phase=phase,
+                        error_type=error_type, attempts=attempts,
+                        fallback=record.fallback,
+                    )
+    finally:
+        if enabled:
+            tel.end(panel_span, ok=len(results), failed=len(failures))
+            activate(previous_telemetry)
 
     return PanelResult(results, failures)
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.exceptions import GraphError
 from repro.core.rng import ensure_rng
+from repro.telemetry.base import get_active
 
 from .graph import KnowledgeGraph
 from .triples import TripleStore
@@ -78,10 +79,20 @@ class NeighborCache:
             raise GraphError("num_samples must be >= 1")
         rng = ensure_rng(seed)
         entities = np.asarray(entities, dtype=np.int64).ravel()
+        tel = get_active()
+        span = (
+            tel.begin("kg/neighbor_sample", entities=int(entities.size),
+                      num_samples=num_samples)
+            if tel.enabled
+            else None
+        )
         starts = self._offsets[entities]
         counts = self._offsets[entities + 1] - starts
         draws = rng.integers(0, counts[:, None], size=(entities.size, num_samples))
         flat = starts[:, None] + draws
+        if span is not None:
+            tel.counter("kg.neighbor_samples").inc(int(entities.size) * num_samples)
+            tel.end(span)
         return self._flat_relations[flat], self._flat_neighbors[flat]
 
 
@@ -105,13 +116,21 @@ def corrupt_batch(
     """
     rng = ensure_rng(seed)
     idx = np.asarray(indices, dtype=np.int64).ravel()
+    tel = get_active()
+    span = (
+        tel.begin("kg/corrupt_batch", batch=int(idx.size))
+        if tel.enabled
+        else None
+    )
     heads = store.heads[idx].copy()
     rels = store.relations[idx].copy()
     tails = store.tails[idx].copy()
     pending = np.arange(idx.size, dtype=np.int64)
+    rounds = 0
     for _ in range(max_tries):
         if pending.size == 0:
             break
+        rounds += 1
         tail_side = rng.random(pending.size) < corrupt_tail_prob
         candidates = rng.integers(0, store.num_entities, size=pending.size)
         cand_h = np.where(tail_side, heads[pending], candidates)
@@ -128,4 +147,9 @@ def corrupt_batch(
             int(store.tails[idx[row]]),
         )
         heads[row], tails[row] = h, t
+    if span is not None:
+        tel.counter("kg.corrupted_triples").inc(int(idx.size))
+        if pending.size:
+            tel.counter("kg.corrupt_fallbacks").inc(int(pending.size))
+        tel.end(span, rounds=rounds, fallbacks=int(pending.size))
     return heads, rels, tails

@@ -20,9 +20,12 @@ from repro.core.exceptions import ConfigError, NotFittedError
 from repro.core.rng import ensure_rng
 from repro.kg.sampling import corrupt_batch
 from repro.kg.triples import TripleStore
+from repro.runtime.guards import grad_norm
+from repro.telemetry.base import activate, get_active
 
 if TYPE_CHECKING:  # pragma: no cover - import is type-only to avoid a cycle
     from repro.runtime import TrainingRuntime
+    from repro.telemetry import Telemetry
 
 __all__ = ["KGEModel"]
 
@@ -105,6 +108,7 @@ class KGEModel(nn.Module, abc.ABC):
         max_grad_norm: float | None = None,
         skip_nonfinite: str = "off",
         dense_updates: bool = False,
+        telemetry: "Telemetry | None" = None,
     ) -> list[float]:
         """Train on all facts in ``store``; returns per-epoch mean loss.
 
@@ -124,6 +128,16 @@ class KGEModel(nn.Module, abc.ABC):
         regardless of the table sizes; pass ``dense_updates=True`` to
         densify every gradient and reproduce the historical dense
         training path bitwise.
+
+        ``telemetry`` (directly or via ``runtime.telemetry``) records the
+        training run: a ``fit`` span wrapping ``fit/epoch`` and
+        ``fit/batch`` spans, per-batch loss and gradient-norm gauges, and
+        — because the telemetry is *activated* for the duration of the
+        call — nested spans from negative sampling and optimizer steps
+        (see ``docs/observability.md``).  Telemetry only observes: with it
+        on or off, the learned parameters and returned history are
+        bitwise identical, and the disabled path costs one boolean check
+        per batch.
         """
         if store.num_triples == 0:
             raise ConfigError("cannot fit a KGE model on an empty triple store")
@@ -144,33 +158,68 @@ class KGEModel(nn.Module, abc.ABC):
             if snapshot is not None:
                 start_epoch = snapshot.step + 1
                 history = [float(v) for v in snapshot.extra.get("history", [])]
+        tel = telemetry
+        if tel is None and runtime is not None:
+            tel = runtime.telemetry
+        if tel is None:
+            # Fall back to the active telemetry so a fit deep inside a
+            # traced study/panel still contributes its spans.
+            tel = get_active()
+        enabled = tel.enabled
         n = store.num_triples
         batches_per_epoch = (n + batch_size - 1) // batch_size
         step = start_epoch * batches_per_epoch
-        for epoch in range(start_epoch, epochs):
-            perm = rng.permutation(n)
-            total = 0.0
-            for start in range(0, n, batch_size):
-                idx = perm[start : start + batch_size]
-                loss = self._batch_loss(store, idx, rng, margin)
-                optimizer.zero_grad()
-                loss.backward()
+        if enabled:
+            previous_telemetry = activate(tel)
+            fit_span = tel.begin(
+                "fit", model=type(self).__name__, epochs=epochs,
+                start_epoch=start_epoch, triples=n, batch_size=batch_size,
+                dense_updates=dense_updates,
+            )
+            loss_gauge = tel.gauge("fit.loss", model=type(self).__name__)
+            grad_gauge = tel.gauge("fit.grad_norm", model=type(self).__name__)
+            batch_counter = tel.counter("fit.batches")
+        try:
+            for epoch in range(start_epoch, epochs):
+                if enabled:
+                    epoch_span = tel.begin("fit/epoch", epoch=epoch)
+                perm = rng.permutation(n)
+                total = 0.0
+                for start in range(0, n, batch_size):
+                    if enabled:
+                        batch_span = tel.begin("fit/batch", step=step)
+                    idx = perm[start : start + batch_size]
+                    loss = self._batch_loss(store, idx, rng, margin)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    if runtime is not None:
+                        runtime.before_step(step, params)
+                    optimizer.step()
+                    if self.normalize_entities:
+                        self._renormalize()
+                    loss_value = loss.item()
+                    if runtime is not None:
+                        runtime.observe_loss(loss_value)
+                    total += loss_value * idx.size
+                    step += 1
+                    if enabled:
+                        loss_gauge.set(loss_value)
+                        grad_gauge.set(grad_norm(params))
+                        batch_counter.inc()
+                        tel.end(batch_span, loss=loss_value)
+                history.append(total / n)
+                if enabled:
+                    tel.counter("fit.epochs").inc()
+                    tel.end(epoch_span, mean_loss=history[-1])
                 if runtime is not None:
-                    runtime.before_step(step, params)
-                optimizer.step()
-                if self.normalize_entities:
-                    self._renormalize()
-                loss_value = loss.item()
-                if runtime is not None:
-                    runtime.observe_loss(loss_value)
-                total += loss_value * idx.size
-                step += 1
-            history.append(total / n)
-            if runtime is not None:
-                runtime.maybe_checkpoint(
-                    epoch, params, optimizer=optimizer, rng=rng,
-                    extra={"history": history},
-                )
+                    runtime.maybe_checkpoint(
+                        epoch, params, optimizer=optimizer, rng=rng,
+                        extra={"history": history},
+                    )
+        finally:
+            if enabled:
+                tel.end(fit_span, epochs_run=len(history) - start_epoch)
+                activate(previous_telemetry)
         self._fitted = True
         return history
 

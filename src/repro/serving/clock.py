@@ -1,41 +1,14 @@
-"""Injectable time sources for the serving layer.
+"""Compatibility shim: the clock abstraction moved to :mod:`repro.core.clock`.
 
-Every time-dependent serving component (circuit breakers, deadlines, the
-admission queue, latency metrics) takes a ``clock`` callable returning
-monotonic seconds, defaulting to :func:`time.monotonic`.  Tests and the
-seeded traffic replay pass a :class:`ManualClock` instead, so "minutes"
-of breaker cooldown or queue drain happen instantly and two runs with the
-same seed observe bitwise-identical timestamps.
+The serving layer introduced the injectable-clock pattern; once telemetry
+and runtime retries needed the same abstraction it was promoted to
+``repro.core.clock``.  Import :class:`ManualClock` from there in new code;
+this module keeps the historical ``repro.serving.clock`` import path
+working.
 """
 
 from __future__ import annotations
 
-__all__ = ["ManualClock"]
+from repro.core.clock import Clock, ManualClock, system_clock
 
-
-class ManualClock:
-    """A clock that only moves when told to.
-
-    The instance is callable (so it slots into any ``clock=`` parameter)
-    and :meth:`advance` doubles as an injected ``sleep``: a component that
-    "sleeps" on a manual clock simply moves time forward for every other
-    component sharing the clock.
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    def __call__(self) -> float:
-        return self._now
-
-    @property
-    def now(self) -> float:
-        return self._now
-
-    def advance(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError("time cannot move backwards")
-        self._now += float(seconds)
-
-    # alias so the clock can be passed wherever a ``sleep`` is injected
-    sleep = advance
+__all__ = ["Clock", "ManualClock", "system_clock"]

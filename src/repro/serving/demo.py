@@ -19,17 +19,26 @@ fallback activations, breaker transitions, and p50/p99 latency.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.core.rng import ensure_rng
 from repro.data import make_movie_dataset
 from repro.models.baselines import ItemKNN, MostPopular
 from repro.runtime.faults import SERVING_FAULT_KINDS, FaultInjector, FaultPlan
 from repro.runtime.retry import RetryPolicy
+from repro.telemetry import Telemetry
 
 from .admission import AdmissionQueue
 from .clock import ManualClock
 from .service import RecommenderService, ServeRequest
 
-__all__ = ["build_demo_service", "run_replay", "demo_report", "run_smoke"]
+__all__ = [
+    "build_demo_service",
+    "run_replay",
+    "demo_report",
+    "run_smoke",
+    "reconcile_trace_outcomes",
+]
 
 #: Replay shape: deadline tight enough that a latency fault blows it.
 DEADLINE = 0.05
@@ -42,13 +51,21 @@ def build_demo_service(
     seed: int = 0,
     num_requests: int = 300,
     fault_rate: float = 0.10,
+    trace: bool = False,
 ) -> tuple[RecommenderService, ManualClock, FaultInjector]:
-    """A small fitted ladder behind a fully injected serving stack."""
+    """A small fitted ladder behind a fully injected serving stack.
+
+    With ``trace=True`` the service carries a
+    :class:`~repro.telemetry.Telemetry` on the replay's shared
+    :class:`ManualClock` (reachable as ``service.telemetry``), so the
+    exported span timeline is bitwise-deterministic under seed.
+    """
     dataset = make_movie_dataset(seed=seed)
     primary = ItemKNN(num_neighbors=10).fit(dataset)
     popular = MostPopular().fit(dataset)
 
     clock = ManualClock()
+    telemetry = Telemetry(clock=clock) if trace else None
     plan = FaultPlan.random(
         num_requests, rate=fault_rate, kinds=SERVING_FAULT_KINDS,
         seed=seed, seconds=LATENCY_FAULT_SECONDS,
@@ -72,6 +89,7 @@ def build_demo_service(
             total_budget=DEADLINE, sleep=clock.advance, clock=clock,
         ),
         clock=clock,
+        telemetry=telemetry,
     )
     return service, clock, injector
 
@@ -136,13 +154,56 @@ def demo_report(service: RecommenderService, traces: list[str]) -> str:
     return "\n".join(lines)
 
 
-def run_smoke(seeds: tuple[int, ...] = (0, 1, 2), num_requests: int = 200) -> str:
-    """Chaos smoke: invariants over a seed matrix; raises on violation."""
+def reconcile_trace_outcomes(service: RecommenderService) -> dict[str, int]:
+    """Assert per-request span outcomes match the degradation counters.
+
+    Every ``serve/request`` span carries an ``outcome`` attribute; tallied
+    up they must equal the service's ``status::*`` counters exactly (both
+    are written by the same ``serve()`` path — a mismatch means the
+    instrumentation lost or double-counted a request).  Returns the tally.
+    """
+    spans = service.telemetry.tracer.records()
+    outcomes = Counter(
+        str(s.attrs["outcome"]) for s in spans if s.name == "serve/request"
+    )
+    counters = service.metrics.counters
+    for status in ("ok", "degraded", "shed", "rejected"):
+        span_count = outcomes.get(status, 0)
+        counted = counters[f"status::{status}"]
+        if span_count != counted:
+            raise AssertionError(
+                f"trace/metric mismatch for {status!r}: "
+                f"{span_count} spans vs {counted} counted"
+            )
+    if sum(outcomes.values()) != counters["requests"]:
+        raise AssertionError(
+            f"{sum(outcomes.values())} request spans for "
+            f"{counters['requests']} requests"
+        )
+    return dict(outcomes)
+
+
+def run_smoke(
+    seeds: tuple[int, ...] = (0, 1, 2),
+    num_requests: int = 200,
+    trace_out: str | None = None,
+) -> str:
+    """Chaos smoke: invariants over a seed matrix; raises on violation.
+
+    With ``trace_out`` the replays also run traced: exported telemetry
+    must be byte-identical between duplicate runs of a seed, span
+    outcomes must reconcile with the degradation counters, and the last
+    seed's capture is written to ``trace_out`` (the CI job then schema-
+    checks it with ``trace-report --check``).
+    """
+    trace = trace_out is not None
     lines = []
     for seed in seeds:
         runs = []
         for __ in range(2):
-            service, clock, injector = build_demo_service(seed, num_requests)
+            service, clock, injector = build_demo_service(
+                seed, num_requests, trace=trace
+            )
             traces = run_replay(service, clock, seed, num_requests)
             runs.append((service, injector, traces))
         service, injector, traces = runs[0]
@@ -161,6 +222,15 @@ def run_smoke(seeds: tuple[int, ...] = (0, 1, 2), num_requests: int = 200) -> st
             raise AssertionError(f"seed {seed}: no degraded responses; ladder unused")
         if traces != runs[1][2]:
             raise AssertionError(f"seed {seed}: replay traces differ between runs")
+        if trace:
+            reconcile_trace_outcomes(service)
+            if (
+                service.telemetry.export_records()
+                != runs[1][0].telemetry.export_records()
+            ):
+                raise AssertionError(
+                    f"seed {seed}: telemetry exports differ between runs"
+                )
         lines.append(
             f"seed {seed}: {num_requests} answered "
             f"(ok={metrics.get('status::ok', 0)} "
@@ -168,4 +238,7 @@ def run_smoke(seeds: tuple[int, ...] = (0, 1, 2), num_requests: int = 200) -> st
             f"shed={metrics.get('status::shed', 0)}), "
             f"{len(injector.injected)} faults, deterministic"
         )
+    if trace:
+        path = service.telemetry.export_jsonl(trace_out)
+        lines.append(f"trace capture (seed {seeds[-1]}) written to {path}")
     return "chaos smoke OK\n" + "\n".join(lines)

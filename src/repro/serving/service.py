@@ -42,6 +42,7 @@ from repro.core.recommender import Recommender
 from repro.runtime.faults import FaultInjector
 from repro.runtime.guards import validate_scores
 from repro.runtime.retry import RetryPolicy
+from repro.telemetry import NULL, NullTelemetry, Telemetry
 
 from .admission import AdmissionQueue
 from .breaker import CircuitBreaker
@@ -164,6 +165,13 @@ class RecommenderService:
         Number of (deterministic, lowest-id) users probed on promotion.
     clock:
         Injectable monotonic time source shared by every component.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When given, every
+        request records a ``serve/request`` span (outcome, rung, breaker
+        state) with per-rung child spans, and :class:`ServiceMetrics` sits
+        on the telemetry's shared registry so serving counters join the
+        same export as training metrics.  ``None`` keeps telemetry fully
+        off (the no-op guard is one attribute check per request).
     """
 
     def __init__(
@@ -181,6 +189,7 @@ class RecommenderService:
         static_scores: np.ndarray | None = None,
         canary_size: int = 8,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Telemetry | NullTelemetry | None = None,
     ) -> None:
         if default_k < 1:
             raise ConfigError("default_k must be >= 1")
@@ -193,7 +202,10 @@ class RecommenderService:
         self.admission = admission
         self.faults = faults
         self.retry = retry
-        self.metrics = ServiceMetrics()
+        self.telemetry = telemetry if telemetry is not None else NULL
+        self.metrics = ServiceMetrics(
+            registry=self.telemetry.metrics if self.telemetry.enabled else None
+        )
         self._breaker_config = dict(breaker_config or {})
         self._canary = tuple(range(min(canary_size, dataset.num_users)))
         self._request_counter = 0
@@ -260,6 +272,13 @@ class RecommenderService:
         except (TypeError, ValueError):
             uid = -1
 
+        tel = self.telemetry
+        span = (
+            tel.begin("serve/request", request_id=request_id, user=uid)
+            if tel.enabled
+            else None
+        )
+
         def finish(**kwargs) -> ServeResponse:
             response = ServeResponse(
                 request_id=request_id,
@@ -269,6 +288,16 @@ class RecommenderService:
             )
             self.metrics.incr(f"status::{response.status}")
             self.metrics.observe_latency(response.latency)
+            if span is not None:
+                live = self.registry.live_name if self.registry.has_live else None
+                span.set(
+                    outcome=response.status,
+                    rung=response.model or None,
+                    breaker=self._breakers[live].state if live else None,
+                )
+                if response.error:
+                    span.set(error=response.error)
+                tel.end(span)
             return response
 
         try:
@@ -280,7 +309,7 @@ class RecommenderService:
             try:
                 wait = self.admission.admit()
                 self.metrics.incr("admitted")
-                self.metrics.counters["queue_wait_us"] += int(wait * 1e6)
+                self.metrics.incr("queue_wait_us", int(wait * 1e6))
             except Overloaded as exc:
                 return finish(status="shed", error=f"{type(exc).__name__}: {exc}")
 
@@ -343,11 +372,13 @@ class RecommenderService:
         budget = request.deadline if request.deadline is not None else self.default_deadline
         deadline = Deadline(budget, clock=self.clock)
         live_name = self.registry.live_name
+        tel = self.telemetry
 
         for name, model, breaker in self._chain():
             if breaker is not None and not breaker.allow():
                 self.metrics.incr(f"breaker_rejected::{name}")
                 continue
+            rung_span = tel.begin("serve/rung", rung=name) if tel.enabled else None
             try:
                 if name != STATIC_RUNG:
                     deadline.check(f"before rung {name!r}")
@@ -364,14 +395,20 @@ class RecommenderService:
                     breaker.record_failure("deadline")
                 self.metrics.incr(f"deadline_exceeded::{name}")
                 self.metrics.incr("deadline_exceeded")
+                if rung_span is not None:
+                    tel.end(rung_span, outcome="deadline")
                 continue
             except Exception as exc:  # noqa: BLE001 - rung isolation is the point
                 if breaker is not None:
                     breaker.record_failure(type(exc).__name__)
                 self.metrics.incr(f"rung_errors::{name}")
+                if rung_span is not None:
+                    tel.end(rung_span, outcome="error", error=type(exc).__name__)
                 continue
             if breaker is not None:
                 breaker.record_success()
+            if rung_span is not None:
+                tel.end(rung_span, outcome="ok")
             items, top_scores = self._rank(
                 scores, user_id, int(request.k), request.exclude_seen
             )

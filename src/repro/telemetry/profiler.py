@@ -1,0 +1,85 @@
+"""Lightweight profiling hooks: timer decorators and timing blocks.
+
+:func:`timed` wraps a function in a span named after it (or an explicit
+label), reporting to the *active* telemetry at call time — so a decorated
+helper costs one global load and one attribute check per call while
+telemetry is off, and its timings appear in whichever capture is active
+when it runs.  :func:`timed_block` is the statement form for regions that
+are not a whole function.
+
+Aggregation of these timings into self/total hotspot tables lives in
+:mod:`repro.telemetry.report` (the ``trace-report`` CLI).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from .base import get_active
+
+__all__ = ["timed", "timed_block"]
+
+
+def timed(name_or_fn: str | Callable | None = None, **attrs):
+    """Decorator: record a span around every call of the wrapped function.
+
+    Usable bare (``@timed``), with a label (``@timed("eval/rank")``), or
+    with static span attributes (``@timed("fit/score", model="TransE")``).
+    The observed durations also feed a ``profile.<label>`` histogram so
+    hotspots survive span-buffer eviction.
+    """
+
+    def decorate(fn: Callable, label: str | None = None) -> Callable:
+        span_name = label or f"{fn.__module__.split('.')[-1]}/{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tel = get_active()
+            if not tel.enabled:
+                return fn(*args, **kwargs)
+            span = tel.begin(span_name, **attrs)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                record = tel.end(span)
+                if record is not None:
+                    tel.metrics.histogram(f"profile.{span_name}").observe(
+                        record.duration
+                    )
+
+        return wrapper
+
+    if callable(name_or_fn):  # bare @timed
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)
+
+
+class timed_block:
+    """``with timed_block("phase"):`` — span + profile histogram, or no-op."""
+
+    __slots__ = ("name", "attrs", "_tel", "_span")
+
+    def __init__(self, name: str, **attrs) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._tel = None
+        self._span = None
+
+    def __enter__(self):
+        tel = get_active()
+        if tel.enabled:
+            self._tel = tel
+            self._span = tel.begin(self.name, **self.attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None:
+            if exc is not None:
+                self._span.set(error=type(exc).__name__)
+            record = self._tel.end(self._span)
+            if record is not None:
+                self._tel.metrics.histogram(f"profile.{self.name}").observe(
+                    record.duration
+                )
+        return False
