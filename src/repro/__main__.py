@@ -9,6 +9,8 @@ Usage::
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
     python -m repro trace-report f.jsonl   # render a --trace-out capture
+    python -m repro store-verify DIR   # fsck an embedding store (--repair)
+    python -m repro durability-smoke   # crash-matrix sweep (CI mode)
 
 ``study`` and ``serve-demo`` accept ``--trace-out <path>`` to export the
 run's telemetry (spans + metrics) as JSONL; ``trace-report`` renders such
@@ -143,6 +145,61 @@ def _cmd_trace_report(args) -> str:
     return trace_report(args.path, top=args.top)
 
 
+def _cmd_store_verify(args) -> str:
+    from repro.core.exceptions import StoreError
+    from repro.store import inspect_store, render_report, repair_store
+
+    if args.repair:
+        try:
+            report, actions = repair_store(args.path)
+        except StoreError as exc:
+            raise SystemExit(f"repair FAILED: {exc}")
+        lines = [render_report(report), ""]
+        lines.append(f"repair actions ({len(actions)}):")
+        lines.extend(f"  {a}" for a in actions or ["(nothing to do)"])
+        if report.current is None:  # pragma: no cover - repair_store raises first
+            raise SystemExit("repair FAILED: no consistent generation")
+        return "\n".join(lines)
+    try:
+        report = inspect_store(args.path)
+    except StoreError as exc:
+        raise SystemExit(f"store-verify FAILED: {exc}")
+    out = render_report(report)
+    if report.current is None:
+        raise SystemExit(out + "\nstore-verify FAILED: no consistent generation")
+    broken = [g.generation for g in report.generations if not g.ok]
+    if broken or report.orphans:
+        raise SystemExit(
+            out + "\nstore-verify FAILED: "
+            f"{len(broken)} broken generation(s), {len(report.orphans)} "
+            "orphan shard(s); run with --repair to quarantine and fall back"
+        )
+    return out
+
+
+def _cmd_durability_smoke(args) -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro.store.harness import make_corrupted_store, run_smoke
+
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    lines = []
+    with tempfile.TemporaryDirectory(prefix="durability-smoke-") as tmp:
+        workdir = Path(args.workdir) if args.workdir else Path(tmp)
+        results = run_smoke(workdir, seeds=seeds)
+        lines.extend(r.summary() for r in results)
+        cells = sum(len(r.cells) for r in results)
+        lines.append(
+            f"durability smoke OK: {cells} crash cells across "
+            f"{len(seeds)} seeds, 0 violations"
+        )
+    if args.corrupt_store_out:
+        store_dir = make_corrupted_store(args.corrupt_store_out, seed=seeds[0])
+        lines.append(f"deliberately corrupted store left at {store_dir}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="KG-based recommender systems survey reproduction"
@@ -197,6 +254,36 @@ def main(argv: list[str] | None = None) -> int:
         help="schema-validate the capture instead of rendering (CI mode)",
     )
 
+    p_fsck = sub.add_parser(
+        "store-verify",
+        help="fsck an embedding store: verify every manifest and shard checksum",
+    )
+    p_fsck.add_argument("path", help="store directory (contains manifest-g*.json)")
+    p_fsck.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt/orphaned files and restore the last "
+        "consistent generation",
+    )
+
+    p_dur = sub.add_parser(
+        "durability-smoke",
+        help="crash-matrix sweep: inject every IO fault kind at every store "
+        "IO op and assert recovery lands on exactly one generation (CI mode)",
+    )
+    p_dur.add_argument(
+        "--seeds", default="0,1,2,3,4",
+        help="comma-separated scenario seeds to sweep",
+    )
+    p_dur.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep matrix artifacts here instead of a temp dir",
+    )
+    p_dur.add_argument(
+        "--corrupt-store-out", default=None, metavar="DIR",
+        help="also build a store with a deliberately rotted newest "
+        "generation at DIR (for exercising store-verify --repair)",
+    )
+
     p_report = sub.add_parser("report", help="build the full reproduction report")
     p_report.add_argument("--output", "-o", default=None, help="write to file")
     p_report.add_argument("--full", action="store_true", help="full-size studies")
@@ -217,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_serve_demo(args))
     elif args.command == "trace-report":
         print(_cmd_trace_report(args))
+    elif args.command == "store-verify":
+        print(_cmd_store_verify(args))
+    elif args.command == "durability-smoke":
+        print(_cmd_durability_smoke(args))
     elif args.command == "report":
         from repro.experiments.report import build_report, write_report
 

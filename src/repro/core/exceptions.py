@@ -40,6 +40,14 @@ class CheckpointError(KgrecError):
     """A training checkpoint could not be written, read, or restored."""
 
 
+class StoreError(KgrecError):
+    """An embedding store operation failed (IO, missing generation, misuse)."""
+
+
+class StoreCorruptionError(StoreError):
+    """On-disk store data failed verification (bad magic, checksum, torn file)."""
+
+
 class ServingError(KgrecError):
     """Base class for errors raised at the online serving boundary."""
 

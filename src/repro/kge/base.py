@@ -15,12 +15,14 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.autograd import Adam, losses, nn, ops
+from repro.autograd.sparse import SparseGrad
 from repro.autograd.tensor import Tensor
 from repro.core.exceptions import ConfigError, NotFittedError
 from repro.core.rng import ensure_rng
 from repro.kg.sampling import corrupt_batch
 from repro.kg.triples import TripleStore
 from repro.runtime.guards import grad_norm
+from repro.store.base import DenseStore, EmbeddingStore
 from repro.telemetry.base import activate, get_active
 
 if TYPE_CHECKING:  # pragma: no cover - import is type-only to avoid a cycle
@@ -41,6 +43,14 @@ class KGEModel(nn.Module, abc.ABC):
         Embedding dimensionality ``d``.
     seed:
         Seed for parameter initialization and training randomness.
+    store:
+        :class:`~repro.store.base.EmbeddingStore` backing the entity and
+        relation tables.  The default :class:`DenseStore` is a pure
+        pass-through (training is bitwise identical to having no store);
+        a train-mode :class:`~repro.store.mmap.MmapShardStore` makes the
+        tables durable — it warm-starts them from disk at registration
+        and receives per-step dirty-row marks so commits persist only
+        touched shards.
     """
 
     #: "margin" (translation distance) or "logistic" (semantic matching).
@@ -48,7 +58,14 @@ class KGEModel(nn.Module, abc.ABC):
     #: Renormalize entity rows to unit norm after each step (TransE-style).
     normalize_entities: bool = False
 
-    def __init__(self, num_entities: int, num_relations: int, dim: int = 16, seed=None) -> None:
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 16,
+        seed=None,
+        store: EmbeddingStore | None = None,
+    ) -> None:
         if dim < 1:
             raise ConfigError("embedding dim must be >= 1")
         self.num_entities = num_entities
@@ -57,6 +74,9 @@ class KGEModel(nn.Module, abc.ABC):
         self._rng = ensure_rng(seed)
         self.entity = nn.Embedding(num_entities, dim, seed=self._rng)
         self.relation = nn.Embedding(num_relations, dim, seed=self._rng)
+        self.store = store if store is not None else DenseStore()
+        self.store.register("entity", self.entity.weight.data)
+        self.store.register("relation", self.relation.weight.data)
         self._fitted = False
         self._build(self._rng)
 
@@ -195,6 +215,8 @@ class KGEModel(nn.Module, abc.ABC):
                     if runtime is not None:
                         runtime.before_step(step, params)
                     optimizer.step()
+                    if self.store.track_dirty:
+                        self._mark_store_dirty()
                     if self.normalize_entities:
                         self._renormalize()
                     loss_value = loss.item()
@@ -241,9 +263,34 @@ class KGEModel(nn.Module, abc.ABC):
             return (ops.softplus(-pos) + ops.softplus(neg)).mean()
         raise ConfigError(f"unknown loss_type {self.loss_type!r}")
 
+    def _mark_store_dirty(self) -> None:
+        """Feed this step's touched rows to the store's dirty tracking.
+
+        The sparse row gradients of PR 3 are exactly the dirty-tracking
+        wire format: after ``optimizer.step()`` the raw gradient of each
+        embedding table still lists every row the step updated.  A dense
+        gradient (``dense_updates=True``, or a densifying op in the score
+        function) falls back to marking the whole table.
+        """
+        for name, weight in (("entity", self.entity.weight),
+                             ("relation", self.relation.weight)):
+            g = weight.raw_grad
+            if g is None:
+                continue
+            if isinstance(g, SparseGrad):
+                self.store.mark_dirty(name, g.rows)
+            else:
+                self.store.mark_dirty(name)
+
     def _renormalize(self) -> None:
         w = self.entity.weight.data
         norms = np.linalg.norm(w, axis=1, keepdims=True)
+        if self.store.track_dirty:
+            # Rows at/below unit norm divide by 1.0 and keep their bits;
+            # only rows actually shrunk need to reach the next commit.
+            changed = np.nonzero(norms.ravel() > 1.0)[0]
+            if changed.size:
+                self.store.mark_dirty("entity", changed)
         np.divide(w, np.maximum(norms, 1.0), out=w)
 
     def require_fitted(self) -> None:

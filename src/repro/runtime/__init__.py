@@ -30,11 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; telemetry imports nothing her
 from .checkpoint import Checkpoint, Checkpointer, load_checkpoint, save_checkpoint
 from .faults import (
     FAULT_KINDS,
+    IO_FAULT_KINDS,
     SERVING_FAULT_KINDS,
     TRAINING_FAULT_KINDS,
     Fault,
     FaultInjector,
     FaultPlan,
+    InjectedCrash,
     InjectedFault,
 )
 from .guards import (
@@ -72,9 +74,11 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "InjectedFault",
+    "InjectedCrash",
     "FAULT_KINDS",
     "TRAINING_FAULT_KINDS",
     "SERVING_FAULT_KINDS",
+    "IO_FAULT_KINDS",
     "TrainingRuntime",
 ]
 

@@ -22,6 +22,23 @@ other.
 writes (tmp file + rename), pruning to the newest ``keep`` snapshots, and
 resume-from-latest.  All failure modes raise
 :class:`~repro.core.exceptions.CheckpointError`.
+
+Format version 2 adds a CRC-32 *content checksum per stored array* to the
+``__meta__`` blob, verified on load — a snapshot whose bytes rotted on
+disk now fails loudly instead of resuming training from corrupt
+parameters.  Version-1 archives (no checksums) still load.
+
+A checkpointer may also be bound to a *durable*
+:class:`~repro.store.base.EmbeddingStore` (``store=``).  Parameters whose
+live arrays the store owns (identified by
+:meth:`~repro.store.base.EmbeddingStore.table_for_array` identity) are
+then **not** serialized into the ``.npz``; instead each save first calls
+``store.commit()`` — persisting only the dirty shards — and the archive
+records ``{param position -> table name}`` plus the committed generation.
+Restore reads those tables back from the store at that exact generation.
+The big embedding matrices therefore move from O(table) per snapshot to
+O(rows touched since the last commit), while small dense parameters
+(projection vectors etc.) keep riding in the ``.npz``.
 """
 
 from __future__ import annotations
@@ -30,42 +47,74 @@ import json
 import os
 import re
 import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.exceptions import CheckpointError, ConfigError
+from repro.core.exceptions import CheckpointError, ConfigError, StoreError
 
 __all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "Checkpointer"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_KNOWN_VERSIONS = (1, 2)
 _STEP_RE = re.compile(r"-(\d+)\.npz$")
+
+
+def _array_crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
 
 
 @dataclass
 class Checkpoint:
-    """In-memory form of one saved training snapshot."""
+    """In-memory form of one saved training snapshot.
+
+    ``params`` entries are ``None`` at positions the embedding store owns;
+    ``store_params`` maps those positions to table names and
+    ``store_generation`` pins the store generation the snapshot refers to.
+    """
 
     step: int
-    params: list[np.ndarray]
+    params: list[np.ndarray | None]
     optimizer_state: dict | None = None
     rng_state: dict | None = None
     extra: dict = field(default_factory=dict)
+    store_params: dict[int, str] = field(default_factory=dict)
+    store_generation: int | None = None
 
-    def restore(self, params, optimizer=None, rng=None) -> "Checkpoint":
+    def restore(self, params, optimizer=None, rng=None, store=None) -> "Checkpoint":
         """Copy saved state back into live objects (in place).
 
         ``params`` is a list of tensors (``.data`` arrays are overwritten),
         ``optimizer`` anything with ``load_state_dict``, ``rng`` a NumPy
-        ``Generator`` whose bit-generator state is replaced.
+        ``Generator`` whose bit-generator state is replaced.  ``store`` is
+        required when the snapshot delegated parameters to an embedding
+        store; those tables are read back at the snapshot's generation
+        (a verified read — corrupt shards raise).
         """
         if len(params) != len(self.params):
             raise CheckpointError(
                 f"checkpoint has {len(self.params)} parameters, "
                 f"model has {len(params)}"
             )
+        if self.store_params and store is None:
+            raise CheckpointError(
+                "checkpoint delegates parameters to an embedding store; "
+                "restore(store=...) is required"
+            )
         for pos, (p, saved) in enumerate(zip(params, self.params)):
+            if pos in self.store_params:
+                table = self.store_params[pos]
+                try:
+                    saved = store.load_table(table, self.store_generation)
+                except StoreError as exc:
+                    raise CheckpointError(
+                        f"cannot restore table {table!r} at store generation "
+                        f"{self.store_generation}: {exc}"
+                    ) from exc
+            elif saved is None:  # pragma: no cover - inconsistent archive
+                raise CheckpointError(f"parameter {pos} missing from checkpoint")
             if p.data.shape != saved.shape:
                 raise CheckpointError(
                     f"parameter {pos} shape mismatch: "
@@ -103,8 +152,17 @@ def save_checkpoint(
     step: int = 0,
     rng: np.random.Generator | None = None,
     extra: dict | None = None,
+    store=None,
 ) -> Path:
-    """Write one checkpoint archive to ``path`` (atomic) and return it."""
+    """Write one checkpoint archive to ``path`` (atomic) and return it.
+
+    With a durable ``store``, the store is committed *first* (its manifest
+    rename is its own atomic commit point) and store-owned parameter
+    arrays are recorded by reference instead of serialized.  A crash
+    between the two commits leaves either an unreferenced store
+    generation (harmless; never restored) or nothing — never a checkpoint
+    pointing at a generation that does not exist.
+    """
     path = Path(path)
     arrays: dict[str, np.ndarray] = {}
     meta: dict = {
@@ -113,9 +171,22 @@ def save_checkpoint(
         "num_params": 0,
         "extra": dict(extra or {}),
     }
+    durable = store is not None and getattr(store, "durable", False)
+    if durable:
+        try:
+            meta["store_generation"] = int(store.commit(tag=f"ckpt-{int(step)}"))
+        except StoreError as exc:
+            raise CheckpointError(f"store commit failed for {path}: {exc}") from exc
+    store_params: dict[str, str] = {}
     for pos, p in enumerate(params):
-        arrays[f"param__{pos:04d}"] = np.asarray(p.data)
+        table = store.table_for_array(p.data) if durable else None
+        if table is not None:
+            store_params[str(pos)] = table
+        else:
+            arrays[f"param__{pos:04d}"] = np.asarray(p.data)
         meta["num_params"] = pos + 1
+    if store_params:
+        meta["store_params"] = store_params
     if optimizer is not None:
         scalars, arr_lists = _split_state(optimizer.state_dict())
         meta["optimizer"] = {"type": type(optimizer).__name__, "scalars": scalars,
@@ -125,6 +196,7 @@ def save_checkpoint(
                 arrays[f"opt__{key}__{pos:04d}"] = arr
     if rng is not None:
         meta["rng_state"] = rng.bit_generator.state
+    meta["checksums"] = {key: _array_crc(arr) for key, arr in arrays.items()}
     try:
         blob = json.dumps(meta)
     except (TypeError, ValueError) as exc:
@@ -150,12 +222,25 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
             if "__meta__" not in archive:
                 raise CheckpointError(f"{path} is not a checkpoint archive")
             meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
-            if meta.get("version") != _FORMAT_VERSION:
+            if meta.get("version") not in _KNOWN_VERSIONS:
                 raise CheckpointError(
                     f"unsupported checkpoint version {meta.get('version')!r}"
                 )
-            params = [
-                archive[f"param__{pos:04d}"] for pos in range(meta["num_params"])
+            for key, crc in meta.get("checksums", {}).items():
+                if key not in archive:
+                    raise CheckpointError(f"{path.name}: array {key!r} missing")
+                if _array_crc(archive[key]) != int(crc):
+                    raise CheckpointError(
+                        f"{path.name}: array {key!r} failed its content "
+                        "checksum (bitrot?)"
+                    )
+            store_params = {
+                int(pos): str(table)
+                for pos, table in meta.get("store_params", {}).items()
+            }
+            params: list[np.ndarray | None] = [
+                None if pos in store_params else archive[f"param__{pos:04d}"]
+                for pos in range(meta["num_params"])
             ]
             optimizer_state = None
             if "optimizer" in meta:
@@ -166,12 +251,15 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
                     optimizer_state[key] = [
                         archive[f"opt__{key}__{pos:04d}"] for pos in range(count)
                     ]
+            gen = meta.get("store_generation")
             return Checkpoint(
                 step=int(meta["step"]),
                 params=params,
                 optimizer_state=optimizer_state,
                 rng_state=meta.get("rng_state"),
                 extra=dict(meta.get("extra", {})),
+                store_params=store_params,
+                store_generation=None if gen is None else int(gen),
             )
     except CheckpointError:
         raise
@@ -187,6 +275,13 @@ class Checkpointer:
 
     ``every`` is measured in whatever unit the caller passes as ``step``
     (epochs in :meth:`KGEModel.fit <repro.kge.base.KGEModel.fit>`).
+
+    ``store`` binds a durable embedding store: every save becomes an
+    *incremental* checkpoint (store commit of dirty shards + small
+    ``.npz`` for everything else), and resume restores store-owned tables
+    from the snapshot's recorded generation.  A snapshot whose store
+    generation no longer verifies is skipped the same way a corrupt
+    ``.npz`` is — resume falls back to the next-newest loadable pair.
     """
 
     def __init__(
@@ -195,6 +290,7 @@ class Checkpointer:
         every: int = 1,
         keep: int = 3,
         prefix: str = "ckpt",
+        store=None,
     ) -> None:
         if every < 1:
             raise ConfigError("checkpoint interval 'every' must be >= 1")
@@ -205,6 +301,7 @@ class Checkpointer:
         self.every = every
         self.keep = keep
         self.prefix = prefix
+        self.store = store
 
     # ------------------------------------------------------------------ #
     def _path_for(self, step: int) -> Path:
@@ -227,7 +324,7 @@ class Checkpointer:
     def save(self, step, params, optimizer=None, rng=None, extra=None) -> Path:
         path = save_checkpoint(
             self._path_for(step), params, optimizer=optimizer, step=step,
-            rng=rng, extra=extra,
+            rng=rng, extra=extra, store=self.store,
         )
         self._prune()
         return path
@@ -263,7 +360,9 @@ class Checkpointer:
         failures: list[str] = []
         for path in reversed(paths):
             try:
-                return load_checkpoint(path)
+                checkpoint = load_checkpoint(path)
+                self._check_generation(checkpoint, path)
+                return checkpoint
             except (CheckpointError, FileNotFoundError) as exc:
                 failures.append(f"{path.name}: {exc}")
         raise CheckpointError(
@@ -272,9 +371,43 @@ class Checkpointer:
             + "; ".join(failures)
         )
 
+    def _check_generation(self, checkpoint: Checkpoint, path: Path) -> None:
+        """A store-backed snapshot is loadable only if its generation is."""
+        if not checkpoint.store_params:
+            return
+        if self.store is None:
+            raise CheckpointError(
+                f"{path.name} delegates parameters to an embedding store but "
+                "this Checkpointer has none bound"
+            )
+        if checkpoint.store_generation not in self.store.generations():
+            raise CheckpointError(
+                f"{path.name} refers to store generation "
+                f"{checkpoint.store_generation}, which is gone or corrupt"
+            )
+
     def restore_latest(self, params, optimizer=None, rng=None) -> Checkpoint | None:
-        """Load and apply the newest checkpoint; returns it (or ``None``)."""
-        checkpoint = self.load_latest()
-        if checkpoint is not None:
-            checkpoint.restore(params, optimizer=optimizer, rng=rng)
-        return checkpoint
+        """Load and apply the newest restorable checkpoint (or ``None``).
+
+        Like :meth:`load_latest`, but a candidate that fails *at restore
+        time* (e.g. its store generation read back corrupt) is also
+        skipped in favor of the next-newest one.
+        """
+        paths = self.paths()
+        if not paths:
+            return None
+        failures: list[str] = []
+        for path in reversed(paths):
+            try:
+                checkpoint = load_checkpoint(path)
+                self._check_generation(checkpoint, path)
+                return checkpoint.restore(
+                    params, optimizer=optimizer, rng=rng, store=self.store
+                )
+            except (CheckpointError, FileNotFoundError) as exc:
+                failures.append(f"{path.name}: {exc}")
+        raise CheckpointError(
+            "no restorable checkpoint in "
+            f"{self.directory} ({len(failures)} candidate(s) failed): "
+            + "; ".join(failures)
+        )

@@ -28,6 +28,28 @@ request index instead of the training step:
 
 Training hooks ignore serving kinds and vice versa, so one plan can drive
 both layers.
+
+The durable embedding store (:mod:`repro.store`) adds *IO-shaped* faults,
+where ``step`` is the store's global IO-operation index (every byte-level
+write/rename the store performs advances it, see
+:class:`repro.store.io.StoreIO`):
+
+* ``"torn_write"`` — only a prefix of the payload reaches the file, then
+  the process "dies" (:class:`InjectedCrash`) — a torn page,
+* ``"bitrot"`` — the write completes but one byte is silently flipped
+  (latent media corruption; discovered only by checksum verification),
+* ``"crash_before_rename"`` — the process dies with the temp file written
+  but the atomic rename not yet issued,
+* ``"crash_after_rename"`` — the rename is durable, then the process dies
+  (everything after the commit point is lost),
+* ``"fsync_fail"`` — ``fsync`` raises ``OSError`` (the write's durability
+  is unknown); unlike a crash this is *returned* to the store, which must
+  abort the commit cleanly.
+
+IO faults are applied by :class:`repro.store.io.FaultingStoreIO`, which
+wraps these kinds around the store's write hooks; the crash-matrix
+harness (:mod:`repro.store.harness`) sweeps them across every IO op of a
+train→checkpoint→promote scenario.
 """
 
 from __future__ import annotations
@@ -46,20 +68,41 @@ __all__ = [
     "FAULT_KINDS",
     "TRAINING_FAULT_KINDS",
     "SERVING_FAULT_KINDS",
+    "IO_FAULT_KINDS",
     "Fault",
     "FaultPlan",
     "FaultInjector",
     "InjectedFault",
+    "InjectedCrash",
 ]
 
 TRAINING_FAULT_KINDS: tuple[str, ...] = ("nan_grad", "raise", "stall")
 SERVING_FAULT_KINDS: tuple[str, ...] = ("latency", "exception", "nan_scores")
-FAULT_KINDS: tuple[str, ...] = TRAINING_FAULT_KINDS + SERVING_FAULT_KINDS
+IO_FAULT_KINDS: tuple[str, ...] = (
+    "torn_write",
+    "bitrot",
+    "crash_before_rename",
+    "crash_after_rename",
+    "fsync_fail",
+)
+FAULT_KINDS: tuple[str, ...] = (
+    TRAINING_FAULT_KINDS + SERVING_FAULT_KINDS + IO_FAULT_KINDS
+)
 
 
 class InjectedFault(RuntimeError):
     """Raised by a planned ``"raise"`` fault (deliberately *not* a KgrecError,
     mimicking an arbitrary crash escaping a model's ``fit``)."""
+
+
+class InjectedCrash(RuntimeError):
+    """Simulated process death in the middle of a store IO operation.
+
+    Deliberately not a KgrecError: nothing in the write path may catch it,
+    exactly as nothing catches SIGKILL.  The durability harness catches it
+    at the very top, discards every in-memory object, and re-opens the
+    store from disk — the software equivalent of pulling the plug.
+    """
 
 
 @dataclass(frozen=True)
@@ -168,6 +211,22 @@ class FaultInjector:
             elif fault.kind == "exception":
                 self.injected.append(fault)
                 raise InjectedFault(f"injected serving fault at request {step}")
+
+    # ------------------------------------------------------------------ #
+    # IO-shaped hooks (step = the store's global IO-operation index)
+    # ------------------------------------------------------------------ #
+    def io_faults(self, step: int) -> list["Fault"]:
+        """IO faults planned for store IO op ``step`` (recorded as injected).
+
+        The *semantics* of each kind live in
+        :class:`repro.store.io.FaultingStoreIO`, which consults this hook
+        from inside the store's write/rename primitives; this method only
+        selects and records them, keeping the plan/injector machinery the
+        single source of truth for what fired when.
+        """
+        faults = [f for f in self.plan.at(step) if f.kind in IO_FAULT_KINDS]
+        self.injected.extend(faults)
+        return faults
 
     def corrupt_scores(self, step: int, scores: np.ndarray) -> np.ndarray:
         """Apply any ``nan_scores`` fault planned for request ``step``."""

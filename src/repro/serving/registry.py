@@ -27,13 +27,21 @@ from typing import Callable, Sequence
 from repro.core.exceptions import ModelUnavailableError, PromotionError
 from repro.core.recommender import Recommender
 from repro.runtime.guards import ScoreReport, validate_scores
+from repro.telemetry.base import NULL
 
 __all__ = ["PromotionRecord", "ModelRegistry"]
 
 
 @dataclass(frozen=True)
 class PromotionRecord:
-    """Outcome of one promotion attempt."""
+    """Outcome of one promotion attempt.
+
+    ``canary_seed`` records how the canary batch was drawn (``None`` =
+    the deterministic lowest-id prefix); ``generation`` records the
+    embedding-store generation the candidate serves from, when it serves
+    from one — so an audit can tie a promotion to the exact on-disk
+    manifest it made live.
+    """
 
     at: float
     name: str
@@ -41,10 +49,14 @@ class PromotionRecord:
     canary_users: tuple[int, ...]
     reason: str = ""
     reports: tuple[ScoreReport, ...] = field(default=())
+    canary_seed: int | None = None
+    generation: int | None = None
 
     def describe(self) -> str:
         verdict = "promoted" if self.promoted else "REJECTED"
         out = f"t={self.at:.3f} {self.name!r} {verdict}"
+        if self.generation is not None:
+            out += f" (store generation {self.generation})"
         if self.reason:
             out += f": {self.reason}"
         return out
@@ -57,9 +69,11 @@ class ModelRegistry:
         self,
         num_items: int,
         clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
     ) -> None:
         self.num_items = int(num_items)
         self.clock = clock
+        self.telemetry = telemetry if telemetry is not None else NULL
         self._live: tuple[str, Recommender] | None = None
         self._previous: tuple[str, Recommender] | None = None
         self.history: list[PromotionRecord] = []
@@ -114,11 +128,31 @@ class ModelRegistry:
         name: str,
         model: Recommender,
         canary_users: Sequence[int],
+        canary_seed: int | None = None,
     ) -> PromotionRecord:
-        """Validate ``model`` on the canary batch, then atomically swap it in."""
+        """Validate ``model`` on the canary batch, then atomically swap it in.
+
+        For a store-backed candidate (anything exposing a ``generation``
+        attribute, e.g. :class:`~repro.store.serving.StoredEmbeddingRecommender`)
+        the swap moves no embedding arrays: the candidate already holds a
+        mapped view of its generation, and promotion is one reference
+        assignment here plus that generation recorded for the audit trail.
+        """
         canary = tuple(int(u) for u in canary_users)
         if not canary:
             raise PromotionError("canary batch is empty; refusing blind promotion")
+        generation = getattr(model, "generation", None)
+        generation = int(generation) if isinstance(generation, int) else None
+        tel = self.telemetry
+        span = (
+            tel.begin(
+                "serve/promote", model=name, canary_size=len(canary),
+                canary_seed=canary_seed, canary_users=list(canary),
+                generation=generation,
+            )
+            if tel.enabled
+            else None
+        )
         reports = self.probe(model, canary)
         bad = [(u, r) for u, r in zip(canary, reports) if not r.ok]
         if bad:
@@ -128,8 +162,11 @@ class ModelRegistry:
             record = PromotionRecord(
                 at=self.clock(), name=name, promoted=False,
                 canary_users=canary, reason=reason, reports=tuple(reports),
+                canary_seed=canary_seed, generation=generation,
             )
             self.history.append(record)
+            if span is not None:
+                tel.end(span, outcome="rejected", failed_users=len(bad))
             raise PromotionError(
                 f"candidate {name!r} failed canary probe on "
                 f"{len(bad)}/{len(canary)} users: {reason}"
@@ -139,13 +176,26 @@ class ModelRegistry:
         record = PromotionRecord(
             at=self.clock(), name=name, promoted=True,
             canary_users=canary, reports=tuple(reports),
+            canary_seed=canary_seed, generation=generation,
         )
         self.history.append(record)
+        if span is not None:
+            tel.counter("serve.promotions").inc()
+            tel.end(span, outcome="promoted")
         return record
 
     def rollback(self) -> str:
         """Demote the live model back to its predecessor; returns its name."""
         if self._previous is None:
             raise ModelUnavailableError("no previous model to roll back to")
+        tel = self.telemetry
+        span = (
+            tel.begin("serve/rollback", from_model=self._live[0] if self._live else None)
+            if tel.enabled
+            else None
+        )
         self._live, self._previous = self._previous, None
+        if span is not None:
+            tel.counter("serve.rollbacks").inc()
+            tel.end(span, to_model=self._live[0])
         return self._live[0]

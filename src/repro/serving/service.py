@@ -162,7 +162,14 @@ class RecommenderService:
         Optional :class:`~repro.runtime.retry.RetryPolicy` for live-rung
         scoring; give it a ``total_budget`` so retries respect the SLO.
     canary_size:
-        Number of (deterministic, lowest-id) users probed on promotion.
+        Number of users probed on promotion.
+    canary_seed:
+        ``None`` (default) keeps the legacy deterministic lowest-id
+        canary prefix.  An integer draws the canary batch once with a
+        seeded RNG (without replacement) — still fully reproducible, but
+        no longer biased to the lowest user ids — and is recorded on
+        every :class:`PromotionRecord` and ``serve/promote`` span so an
+        audit can regenerate the exact probe batch.
     clock:
         Injectable monotonic time source shared by every component.
     telemetry:
@@ -188,6 +195,7 @@ class RecommenderService:
         retry: RetryPolicy | None = None,
         static_scores: np.ndarray | None = None,
         canary_size: int = 8,
+        canary_seed: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry: Telemetry | NullTelemetry | None = None,
     ) -> None:
@@ -207,10 +215,21 @@ class RecommenderService:
             registry=self.telemetry.metrics if self.telemetry.enabled else None
         )
         self._breaker_config = dict(breaker_config or {})
-        self._canary = tuple(range(min(canary_size, dataset.num_users)))
+        self.canary_seed = canary_seed
+        size = min(canary_size, dataset.num_users)
+        if canary_seed is None:
+            self._canary = tuple(range(size))
+        else:
+            rng = np.random.default_rng(canary_seed)
+            self._canary = tuple(
+                int(u)
+                for u in rng.choice(dataset.num_users, size=size, replace=False)
+            )
         self._request_counter = 0
 
-        self.registry = ModelRegistry(dataset.num_items, clock=clock)
+        self.registry = ModelRegistry(
+            dataset.num_items, clock=clock, telemetry=self.telemetry
+        )
         self._breakers: dict[str, CircuitBreaker] = {}
 
         self._fallbacks: list[tuple[str, Recommender]] = []
@@ -242,7 +261,9 @@ class RecommenderService:
         the new model.
         """
         try:
-            record = self.registry.promote(name, model, self._canary)
+            record = self.registry.promote(
+                name, model, self._canary, canary_seed=self.canary_seed
+            )
         except ServingError:
             self.metrics.incr("promotion_failures")
             raise

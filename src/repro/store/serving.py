@@ -1,0 +1,116 @@
+"""Serving-side recommender that scores straight off a sharded store.
+
+:class:`StoredEmbeddingRecommender` is the bridge between the durable
+store and the fault-tolerant serving stack: it implements the normal
+:class:`~repro.core.recommender.Recommender` interface but reads its
+embedding tables from a serve-mode
+:class:`~repro.store.mmap.MmapShardStore` instead of holding arrays of
+its own.  Promotion of a new training generation is therefore
+:meth:`refresh` — a manifest remap that moves no embedding bytes — and
+rollback is a remap at the previous generation.
+
+Because every ``score_all`` goes through the store, a closed or broken
+store surfaces as :class:`~repro.core.exceptions.StoreError` from the
+rung, which :class:`~repro.serving.service.RecommenderService` treats
+like any other rung failure: the breaker records it and the request is
+served by the next rung down the degradation ladder.  The durability
+harness asserts exactly this (typed outcomes, never an escaped
+exception) while shards are being corrupted underneath the service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigError
+from repro.core.recommender import Recommender
+
+from .mmap import MmapShardStore
+
+__all__ = ["StoredEmbeddingRecommender"]
+
+
+class StoredEmbeddingRecommender(Recommender):
+    """Score users against items using a store's embedding tables.
+
+    Parameters
+    ----------
+    store:
+        A serve-mode :class:`MmapShardStore` (``remap``-able).
+    user_entities, item_entities:
+        Row indices into ``entity_table`` for each user / item id — the
+        same alignment the lifted user-item graph gives CFKG-style
+        models.
+    relation_id:
+        Row of ``relation_table`` used as the interaction translation.
+        When given, scores are TransE-style ``-||u + r - i||^2``;
+        when ``None``, plain dot products ``i @ u``.
+    """
+
+    requires_kg = False
+
+    def __init__(
+        self,
+        store: MmapShardStore,
+        user_entities: np.ndarray,
+        item_entities: np.ndarray,
+        relation_id: int | None = None,
+        entity_table: str = "entity",
+        relation_table: str = "relation",
+    ) -> None:
+        super().__init__()
+        if store.mode != "serve":
+            raise ConfigError(
+                "StoredEmbeddingRecommender needs a serve-mode store "
+                f"(got mode={store.mode!r})"
+            )
+        self.store = store
+        self.user_entities = np.asarray(user_entities, dtype=np.int64)
+        self.item_entities = np.asarray(item_entities, dtype=np.int64)
+        self.relation_id = relation_id
+        self.entity_table = entity_table
+        self.relation_table = relation_table
+
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """The store generation currently being served."""
+        return self.store.generation
+
+    def refresh(self, generation: int | None = None) -> int:
+        """Re-point at ``generation`` (default: newest consistent).
+
+        This is the whole promotion/rollback mechanism: a verified
+        manifest remap, no embedding arrays copied or rebuilt.
+        """
+        return self.store.remap(generation)
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: Dataset) -> "StoredEmbeddingRecommender":
+        """No training happens here — just bind the catalog being served."""
+        if dataset.num_users != self.user_entities.size:
+            raise ConfigError(
+                f"user_entities maps {self.user_entities.size} users, "
+                f"dataset has {dataset.num_users}"
+            )
+        if dataset.num_items != self.item_entities.size:
+            raise ConfigError(
+                f"item_entities maps {self.item_entities.size} items, "
+                f"dataset has {dataset.num_items}"
+            )
+        self._mark_fitted(dataset)
+        return self
+
+    def score_all(self, user_id: int) -> np.ndarray:
+        self.fitted_dataset
+        entities = self.store.table(self.entity_table)
+        u = entities.gather([int(self.user_entities[int(user_id)])])[0]
+        u = u.astype(np.float64)
+        items = entities.gather(self.item_entities).astype(np.float64)
+        if self.relation_id is None:
+            return items @ u
+        relations = self.store.table(self.relation_table)
+        r = relations.gather([int(self.relation_id)])[0].astype(np.float64)
+        delta = (u + r)[None, :] - items
+        return -(delta**2).sum(axis=1)

@@ -1,0 +1,491 @@
+"""Unit tests for the sharded embedding store (format, stores, checkpoints)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    CheckpointError,
+    StoreCorruptionError,
+    StoreError,
+)
+from repro.kg.triples import TripleStore
+from repro.kge.translational import TransE
+from repro.runtime import TrainingRuntime
+from repro.runtime.checkpoint import Checkpointer, load_checkpoint, save_checkpoint
+from repro.store import (
+    DenseStore,
+    MmapShardStore,
+    ShardInfo,
+    StoreIO,
+    inspect_store,
+    load_shard,
+    verify_shard,
+    write_shard,
+)
+from repro.store.manifest import (
+    build_manifest,
+    load_manifest,
+    manifest_bytes,
+    parse_manifest,
+    write_manifest,
+)
+
+
+def toy_triples(seed=0, num_entities=8, num_relations=2, n=24):
+    rng = np.random.default_rng(seed)
+    return TripleStore(
+        rng.integers(num_entities, size=n),
+        rng.integers(num_relations, size=n),
+        rng.integers(num_entities, size=n),
+        num_entities=num_entities,
+        num_relations=num_relations,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# shard format
+# ---------------------------------------------------------------------- #
+class TestShardFormat:
+    def test_round_trip(self, tmp_path):
+        values = np.arange(12, dtype=np.float64).reshape(4, 3)
+        info = write_shard(StoreIO(), tmp_path / "t-s0.shard", "t", 4, values)
+        assert info.rows == 4 and info.row_start == 4
+        header, loaded = load_shard(tmp_path / "t-s0.shard")
+        assert header["table"] == "t"
+        np.testing.assert_array_equal(loaded, values.astype(np.float32))
+
+    def test_bitrot_detected(self, tmp_path):
+        path = tmp_path / "t-s0.shard"
+        write_shard(StoreIO(), path, "t", 0, np.ones((4, 3)))
+        blob = bytearray(path.read_bytes())
+        blob[-2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError, match="bitrot"):
+            verify_shard(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "t-s0.shard"
+        write_shard(StoreIO(), path, "t", 0, np.ones((4, 3)))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # tear off the payload tail
+        with pytest.raises(StoreCorruptionError, match="torn"):
+            verify_shard(path)
+        path.write_bytes(blob[: len(blob) // 4])  # tear mid-header
+        with pytest.raises(StoreCorruptionError, match="truncated"):
+            verify_shard(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t-s0.shard"
+        path.write_bytes(b"NOTSHARD" + b"\x00" * 64)
+        with pytest.raises(StoreCorruptionError, match="magic"):
+            verify_shard(path)
+
+    def test_manifest_cross_check(self, tmp_path):
+        path = tmp_path / "t-s0.shard"
+        info = write_shard(StoreIO(), path, "t", 0, np.ones((4, 3)))
+        wrong = ShardInfo(file=info.file, row_start=4, rows=4, crc32=info.crc32)
+        with pytest.raises(StoreCorruptionError, match="disagrees"):
+            verify_shard(path, expected=wrong)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest(3, {}, parent=2, tag="test", seed=7)
+        path = write_manifest(StoreIO(), tmp_path, manifest)
+        loaded = load_manifest(path)
+        assert loaded["generation"] == 3
+        assert loaded["parent"] == 2
+        assert loaded["seed"] == 7
+
+    def test_self_checksum_catches_tamper(self, tmp_path):
+        manifest = build_manifest(1, {}, tag="x")
+        data = manifest_bytes(manifest)
+        tampered = data.replace(b'"tag": "x"', b'"tag": "y"')
+        assert tampered != data
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            parse_manifest(tampered)
+
+    def test_filename_generation_mismatch(self, tmp_path):
+        manifest = build_manifest(5, {})
+        (tmp_path / "manifest-g00000004.json").write_bytes(manifest_bytes(manifest))
+        with pytest.raises(StoreCorruptionError, match="filename generation"):
+            load_manifest(tmp_path / "manifest-g00000004.json")
+
+
+# ---------------------------------------------------------------------- #
+# DenseStore: the bitwise-compatible default
+# ---------------------------------------------------------------------- #
+class TestDenseStore:
+    def test_register_is_identity(self):
+        store = DenseStore()
+        arr = np.zeros((4, 2))
+        assert store.register("t", arr) is arr
+        assert store.table("t") is arr
+        assert store.table_for_array(arr) == "t"
+        assert store.table_for_array(np.zeros((4, 2))) is None
+
+    def test_training_bitwise_identical_to_seed_path(self):
+        """A model with the default DenseStore trains exactly as before."""
+        triples = toy_triples()
+        explicit = TransE(8, 2, dim=4, seed=0, store=DenseStore())
+        default = TransE(8, 2, dim=4, seed=0)
+        h1 = explicit.fit(triples, epochs=2, batch_size=8, seed=0)
+        h2 = default.fit(triples, epochs=2, batch_size=8, seed=0)
+        assert h1 == h2
+        np.testing.assert_array_equal(
+            explicit.entity_embeddings(), default.entity_embeddings()
+        )
+        np.testing.assert_array_equal(
+            explicit.relation_embeddings(), default.relation_embeddings()
+        )
+
+    def test_no_generations(self):
+        store = DenseStore()
+        store.register("t", np.zeros((2, 2)))
+        assert store.commit() == 0
+        with pytest.raises(StoreError):
+            store.load_table("t", generation=3)
+
+
+# ---------------------------------------------------------------------- #
+# MmapShardStore
+# ---------------------------------------------------------------------- #
+class TestMmapStoreTraining:
+    def test_commit_writes_only_dirty_shards(self, tmp_path):
+        store = MmapShardStore.create(tmp_path, rows_per_shard=2)
+        arr = store.register("t", np.zeros((6, 3)))
+        gen1 = store.commit()  # everything dirty on first commit
+        assert gen1 == 1
+        files_after_gen1 = set(p.name for p in (tmp_path / "shards").iterdir())
+        assert len(files_after_gen1) == 3
+        arr[5, 0] = 1.0
+        store.mark_dirty("t", [5])
+        gen2 = store.commit()
+        assert gen2 == 2
+        new_files = set(
+            p.name for p in (tmp_path / "shards").iterdir()
+        ) - files_after_gen1
+        assert new_files == {"t-g00000002-s00002.shard"}
+        manifest = load_manifest(tmp_path / "manifest-g00000002.json")
+        shard_files = [s["file"] for s in manifest["tables"]["t"]["shards"]]
+        # shards 0 and 1 carried over by reference from generation 1
+        assert shard_files[0].startswith("t-g00000001")
+        assert shard_files[2].startswith("t-g00000002")
+        store.close()
+
+    def test_commit_with_nothing_dirty_is_noop(self, tmp_path):
+        store = MmapShardStore.create(tmp_path)
+        store.register("t", np.zeros((4, 2)))
+        assert store.commit() == 1
+        assert store.commit() == 1  # no dirty rows -> same generation
+        store.close()
+
+    def test_reopen_warm_starts_registered_arrays(self, tmp_path):
+        store = MmapShardStore.create(tmp_path, rows_per_shard=2)
+        arr = store.register("t", np.arange(8, dtype=np.float64).reshape(4, 2))
+        store.commit()
+        store.close()
+        reopened = MmapShardStore.open(tmp_path, mode="train")
+        fresh = reopened.register("t", np.zeros((4, 2)))
+        np.testing.assert_array_equal(fresh, arr.astype(np.float32))
+        reopened.close()
+
+    def test_mmap_training_close_to_dense(self, tmp_path):
+        """Store-backed training matches dense within float32 round-trips.
+
+        In a single run nothing is ever read back from disk, so the match
+        is exact; the float32 tolerance documented in docs/storage.md
+        applies to values *reloaded* across commits (see
+        test_reopen_warm_starts_registered_arrays).
+        """
+        triples = toy_triples()
+        dense = TransE(8, 2, dim=4, seed=0)
+        dense.fit(triples, epochs=2, batch_size=8, seed=0)
+        store = MmapShardStore.create(tmp_path, rows_per_shard=4)
+        stored = TransE(8, 2, dim=4, seed=0, store=store)
+        stored.fit(triples, epochs=2, batch_size=8, seed=0)
+        np.testing.assert_allclose(
+            stored.entity_embeddings(), dense.entity_embeddings(),
+            rtol=0, atol=1e-6,
+        )
+        store.close()
+
+    def test_load_table_round_trips_committed_state(self, tmp_path):
+        store = MmapShardStore.create(tmp_path, rows_per_shard=2)
+        arr = store.register("t", np.random.default_rng(0).normal(size=(5, 3)))
+        store.commit()
+        loaded = store.load_table("t")
+        np.testing.assert_array_equal(loaded, arr.astype(np.float32))
+        store.close()
+
+    def test_register_shape_mismatch(self, tmp_path):
+        store = MmapShardStore.create(tmp_path)
+        store.register("t", np.zeros((4, 2)))
+        store.commit()
+        store.close()
+        reopened = MmapShardStore.open(tmp_path, mode="train")
+        with pytest.raises(StoreError, match="shape"):
+            reopened.register("t", np.zeros((5, 2)))
+        reopened.close()
+
+
+class TestMmapStoreServing:
+    def make_store(self, tmp_path, rows=6, dim=3, rows_per_shard=2):
+        store = MmapShardStore.create(tmp_path, rows_per_shard=rows_per_shard)
+        arr = store.register(
+            "t", np.arange(rows * dim, dtype=np.float64).reshape(rows, dim)
+        )
+        store.commit()
+        arr[0] = -1.0
+        store.mark_dirty("t", [0])
+        store.commit()
+        store.close()
+        return arr
+
+    def test_sharded_table_gather_and_matmul(self, tmp_path):
+        arr = self.make_store(tmp_path)
+        store = MmapShardStore.open(tmp_path, mode="serve")
+        table = store.table("t")
+        np.testing.assert_array_equal(
+            table.gather([0, 3, 5]), arr[[0, 3, 5]].astype(np.float32)
+        )
+        np.testing.assert_array_equal(table[1], arr[1].astype(np.float32))
+        v = np.ones(3, dtype=np.float32)
+        np.testing.assert_allclose(table @ v, arr.astype(np.float32) @ v)
+        np.testing.assert_array_equal(table.to_array(), arr.astype(np.float32))
+        assert table.shape == (6, 3)
+        store.close()
+
+    def test_remap_moves_no_arrays(self, tmp_path):
+        """Promotion's core mechanic: generation swap without copies."""
+        self.make_store(tmp_path)
+        store = MmapShardStore.open(tmp_path, mode="serve")
+        table = store.table("t")
+        assert store.generation == 2
+        v2_row0 = table[0].copy()
+        before = [id(s) for s in table._shards]
+        assert store.remap(1) == 1
+        # Same view object; its internal maps re-pointed, nothing copied.
+        assert store.table("t") is table
+        assert all(isinstance(s, np.memmap) for s in table._shards)
+        assert [id(s) for s in table._shards] != before
+        assert not np.array_equal(table[0], v2_row0)
+        assert store.remap() == 2  # back to newest
+        np.testing.assert_array_equal(table[0], v2_row0)
+        store.close()
+
+    def test_serve_mode_is_read_only(self, tmp_path):
+        self.make_store(tmp_path)
+        store = MmapShardStore.open(tmp_path, mode="serve")
+        with pytest.raises(StoreError, match="serve mode"):
+            store.register("t", np.zeros((6, 3)))
+        with pytest.raises(StoreError, match="serve mode"):
+            store.commit()
+        store.close()
+
+    def test_closed_store_raises(self, tmp_path):
+        self.make_store(tmp_path)
+        store = MmapShardStore.open(tmp_path, mode="serve")
+        table = store.table("t")
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            table.gather([0])
+        with pytest.raises(StoreError, match="closed"):
+            store.table("t")
+
+    def test_out_of_range_gather(self, tmp_path):
+        self.make_store(tmp_path)
+        store = MmapShardStore.open(tmp_path, mode="serve")
+        with pytest.raises(StoreError, match="out of range"):
+            store.table("t").gather([99])
+        store.close()
+
+
+class TestRecovery:
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        store = MmapShardStore.create(tmp_path, rows_per_shard=2)
+        arr = store.register("t", np.zeros((4, 2)))
+        store.commit()
+        gen1 = store.load_table("t").copy()
+        arr[:] = 7.0
+        store.mark_dirty("t")
+        store.commit()
+        store.close()
+        # rot every generation-2 shard
+        for path in (tmp_path / "shards").glob("t-g00000002-*.shard"):
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        recovered = MmapShardStore.open(tmp_path, mode="train")
+        assert recovered.generation == 1
+        np.testing.assert_array_equal(recovered.load_table("t"), gen1)
+        recovered.close()
+        # the broken generation was quarantined, not deleted
+        report = inspect_store(tmp_path)
+        assert any("manifest-g00000002" in q for q in report.quarantined)
+
+    def test_open_nothing_consistent_raises(self, tmp_path):
+        store = MmapShardStore.create(tmp_path)
+        store.register("t", np.zeros((2, 2)))
+        store.commit()
+        store.close()
+        for path in tmp_path.glob("manifest-g*.json"):
+            path.write_bytes(b"garbage")
+        with pytest.raises(StoreError, match="no consistent generation"):
+            MmapShardStore.open(tmp_path)
+
+    def test_open_non_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="not an embedding store"):
+            MmapShardStore.open(tmp_path / "nope")
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint integration
+# ---------------------------------------------------------------------- #
+class FakeParam:
+    def __init__(self, data):
+        self.data = np.asarray(data, dtype=np.float64)
+
+
+class TestCheckpointChecksums:
+    def test_checksums_written_and_verified(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, [FakeParam(np.ones((3, 2)))], step=1)
+        ckpt = load_checkpoint(path)
+        assert ckpt.step == 1
+        np.testing.assert_array_equal(ckpt.params[0], np.ones((3, 2)))
+
+    def test_corrupt_array_rejected(self, tmp_path):
+        """A flipped parameter byte fails the v2 content checksum."""
+        import json
+        import zipfile
+
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, [FakeParam(np.ones((3, 2)))], step=1)
+        # rewrite the param entry with different bytes but identical shape
+        with np.load(path) as archive:
+            arrays = {k: archive[k].copy() for k in archive.files}
+        arrays["param__0000"][0, 0] = 5.0
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_skip_to_newest_loadable_still_works(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every=1, keep=3)
+        params = [FakeParam(np.zeros((2, 2)))]
+        ckpt.save(0, params)
+        params[0].data[:] = 1.0
+        newest = ckpt.save(1, params)
+        newest.write_bytes(b"truncated")
+        loaded = ckpt.load_latest()
+        assert loaded.step == 0
+
+    def test_version_1_archives_still_load(self, tmp_path):
+        """Backward compatibility: pre-checksum archives load unchanged."""
+        import json
+
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, [FakeParam(np.ones((2, 2)))], step=3)
+        with np.load(path) as archive:
+            arrays = {k: archive[k].copy() for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+        meta["version"] = 1
+        del meta["checksums"]
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        assert load_checkpoint(path).step == 3
+
+
+class TestStoreBackedCheckpoints:
+    def test_store_params_not_in_npz(self, tmp_path):
+        store = MmapShardStore.create(tmp_path / "store", rows_per_shard=2)
+        owned = store.register("emb", np.ones((4, 2)))
+        extra_param = FakeParam(np.full((2, 2), 3.0))
+        params = [FakeParam(owned), extra_param]
+        params[0].data = owned  # identity: the store owns this buffer
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, params, step=0, store=store)
+        with np.load(path) as archive:
+            keys = set(archive.files)
+        assert "param__0001" in keys and "param__0000" not in keys
+        ckpt = load_checkpoint(path)
+        assert ckpt.store_params == {0: "emb"}
+        assert ckpt.store_generation == 1
+        store.close()
+
+    def test_restore_reads_table_at_pinned_generation(self, tmp_path):
+        store = MmapShardStore.create(tmp_path / "store", rows_per_shard=2)
+        owned = store.register("emb", np.ones((4, 2)))
+        params = [FakeParam(owned)]
+        params[0].data = owned
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, params, step=0, store=store)  # generation 1
+        owned[:] = 9.0
+        store.mark_dirty("emb")
+        store.commit()  # generation 2
+        ckpt = load_checkpoint(path)
+        ckpt.restore(params, store=store)
+        np.testing.assert_array_equal(owned, np.ones((4, 2)))
+        store.close()
+
+    def test_restore_without_store_fails(self, tmp_path):
+        store = MmapShardStore.create(tmp_path / "store")
+        owned = store.register("emb", np.ones((4, 2)))
+        params = [FakeParam(owned)]
+        params[0].data = owned
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, params, step=0, store=store)
+        with pytest.raises(CheckpointError, match="store"):
+            load_checkpoint(path).restore(params)
+        store.close()
+
+    def test_checkpointer_skips_checkpoint_with_missing_generation(self, tmp_path):
+        store = MmapShardStore.create(tmp_path / "store", rows_per_shard=2)
+        owned = store.register("emb", np.zeros((4, 2)))
+        params = [FakeParam(owned)]
+        params[0].data = owned
+        ckpt = Checkpointer(tmp_path / "ckpt", every=1, keep=3, store=store)
+        ckpt.save(0, params)  # generation 1
+        owned[:] = 1.0
+        store.mark_dirty("emb")
+        ckpt.save(1, params)  # generation 2
+        store.close()
+        # rot generation 2's manifest, then resume: must fall back to step 0
+        (tmp_path / "store" / "manifest-g00000002.json").write_bytes(b"junk")
+        reopened = MmapShardStore.open(tmp_path / "store", mode="train")
+        fresh = reopened.register("emb", np.full((4, 2), 5.0))
+        params2 = [FakeParam(fresh)]
+        params2[0].data = fresh
+        ckpt2 = Checkpointer(tmp_path / "ckpt", every=1, keep=3, store=reopened)
+        restored = ckpt2.restore_latest(params2)
+        assert restored.step == 0
+        np.testing.assert_array_equal(fresh, np.zeros((4, 2)))
+        reopened.close()
+
+    def test_fit_resume_through_store_backed_checkpointer(self, tmp_path):
+        """An interrupted store-backed fit resumes and finishes cleanly."""
+        triples = toy_triples()
+        store = MmapShardStore.create(tmp_path / "store", rows_per_shard=4)
+        model = TransE(8, 2, dim=4, seed=0, store=store)
+        runtime = TrainingRuntime(
+            checkpointer=Checkpointer(tmp_path / "ckpt", every=1, store=store)
+        )
+        model.fit(triples, epochs=2, batch_size=8, seed=0, runtime=runtime)
+        assert store.generation == 2
+        store.close()
+
+        reopened = MmapShardStore.open(tmp_path / "store", mode="train")
+        resumed = TransE(8, 2, dim=4, seed=0, store=reopened)
+        runtime2 = TrainingRuntime(
+            checkpointer=Checkpointer(tmp_path / "ckpt", every=1, store=reopened)
+        )
+        history = resumed.fit(
+            triples, epochs=3, batch_size=8, seed=0, runtime=runtime2
+        )
+        assert len(history) == 3  # two epochs resumed from disk + one new
+        assert reopened.generation == 3
+        reopened.close()
