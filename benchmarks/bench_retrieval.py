@@ -1,0 +1,272 @@
+"""Two-stage retrieval benchmarks: ANN candidate generation vs exact scoring.
+
+Measures the tradeoff the retrieval package exists for (see
+``docs/retrieval.md``): full-catalog exact scoring is linear in the
+catalog, ANN candidate generation + exact rerank is sublinear.  For each
+catalog size the bench reports, per index kind (``ivf`` / ``lsh``):
+
+* **recall@k** of the candidate set against the exact top-k ground truth
+  (the rerank is exact, so candidate recall *is* end-to-end recall),
+* **p50/p99 query latency** of ANN search + candidate rerank, against the
+  same percentiles for exact full scoring,
+* **candidate counts** — the fraction of the catalog the second stage
+  actually scores, which is the sublinearity being claimed.
+
+Catalogs are clustered mixture-of-Gaussians embeddings (items scatter
+around shared centers, queries land near centers), the geometry learned
+embedding tables actually have.  Isotropic i.i.d. Gaussian data is the
+ANN worst case — near-uniform pairwise distances — and is *not* what
+trained models produce; ``--centers 0`` benchmarks that adversarial
+geometry anyway.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_retrieval.py           # full sizes
+    PYTHONPATH=src python benchmarks/bench_retrieval.py --smoke   # CI smoke
+
+The full run writes machine-readable results to ``--out`` (default
+``benchmarks/BENCH_retrieval.json``).  ``--smoke`` runs a small catalog
+and asserts the recall floors and the seed-determinism contract
+(bitwise-identical fingerprints and candidate sets across rebuilds, and
+across a save/load round trip) instead of reporting timings.  See
+``docs/performance.md`` for recorded numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.retrieval import IvfIndex, LshIndex, exact_topk, load_index, recall_at_k
+from repro.retrieval.base import pairwise_scores
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_retrieval.json"
+
+
+# --------------------------------------------------------------------- #
+# workload
+# --------------------------------------------------------------------- #
+def make_catalog(
+    num_items: int,
+    dim: int,
+    num_queries: int,
+    num_centers: int = 256,
+    spread: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered item vectors + queries near the same centers (float32)."""
+    rng = np.random.default_rng(seed)
+    if num_centers < 1:
+        items = rng.standard_normal((num_items, dim))
+        queries = rng.standard_normal((num_queries, dim))
+    else:
+        centers = rng.standard_normal((num_centers, dim))
+        items = centers[rng.integers(num_centers, size=num_items)]
+        items = items + spread * rng.standard_normal((num_items, dim))
+        queries = centers[rng.integers(num_centers, size=num_queries)]
+        queries = queries + spread * rng.standard_normal((num_queries, dim))
+    return items.astype(np.float32), queries.astype(np.float32)
+
+
+def make_index(kind: str, seed: int = 0):
+    if kind == "ivf":
+        return IvfIndex(seed=seed)
+    if kind == "lsh":
+        return LshIndex(seed=seed)
+    raise SystemExit(f"unknown index kind {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# measurement
+# --------------------------------------------------------------------- #
+def exact_query(items: np.ndarray, q: np.ndarray, k: int) -> np.ndarray:
+    """One full-catalog exact top-k (the baseline both stages replace)."""
+    scores = pairwise_scores(items, q, "ip")
+    top = np.argpartition(-scores, k - 1)[:k]
+    return top[np.argsort(-scores[top], kind="stable")]
+
+
+def ann_query(index, items: np.ndarray, q: np.ndarray, quota: int, k: int):
+    """One two-stage query: ANN candidates + exact rerank of only those rows."""
+    ids = index.search(q, quota)
+    scores = pairwise_scores(items[ids], q, "ip")
+    kk = min(k, scores.size)
+    top = np.argpartition(-scores, kk - 1)[:kk]
+    top = top[np.argsort(-scores[top], kind="stable")]
+    return ids, ids[top]
+
+
+def percentiles(samples: list[float]) -> dict:
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p99_ms": float(np.percentile(arr, 99) * 1e3),
+        "mean_ms": float(arr.mean() * 1e3),
+    }
+
+
+def bench_size(num_items: int, args) -> dict:
+    items, queries = make_catalog(
+        num_items, args.dim, args.queries,
+        num_centers=args.centers, spread=args.spread, seed=args.seed,
+    )
+    truth = [exact_topk(items, q, args.k) for q in queries]
+
+    exact_times: list[float] = []
+    for q in queries:
+        t0 = time.perf_counter()
+        exact_query(items, q, args.k)
+        exact_times.append(time.perf_counter() - t0)
+    exact_lat = percentiles(exact_times)
+
+    out = {"num_items": num_items, "exact": exact_lat, "indexes": {}}
+    print(
+        f"\n{num_items} items, dim {args.dim}: exact scoring "
+        f"p50 {exact_lat['p50_ms']:.3f} ms / p99 {exact_lat['p99_ms']:.3f} ms"
+    )
+    header = (
+        f"{'kind':<6} {'build s':>8} {'recall@'+str(args.k):>10} "
+        f"{'cands':>8} {'frac':>7} {'p50 ms':>8} {'p99 ms':>8} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for kind in args.kinds:
+        index = make_index(kind, seed=args.seed)
+        t0 = time.perf_counter()
+        index.build(items, generation=0)
+        build_s = time.perf_counter() - t0
+
+        ann_times: list[float] = []
+        recalls: list[float] = []
+        cand_counts: list[int] = []
+        for q, true_ids in zip(queries, truth):
+            t0 = time.perf_counter()
+            ids, __ = ann_query(index, items, q, args.quota, args.k)
+            ann_times.append(time.perf_counter() - t0)
+            recalls.append(recall_at_k(ids, true_ids))
+            cand_counts.append(int(ids.size))
+        ann_lat = percentiles(ann_times)
+        recall = float(np.mean(recalls))
+        cands = float(np.mean(cand_counts))
+        frac = cands / num_items
+        speedup = exact_lat["p50_ms"] / ann_lat["p50_ms"]
+        print(
+            f"{kind:<6} {build_s:>8.2f} {recall:>10.3f} {cands:>8.0f} "
+            f"{frac:>6.1%} {ann_lat['p50_ms']:>8.3f} {ann_lat['p99_ms']:>8.3f} "
+            f"{speedup:>7.1f}x"
+        )
+        out["indexes"][kind] = {
+            "build_seconds": build_s,
+            f"recall_at_{args.k}": recall,
+            "mean_candidates": cands,
+            "candidate_fraction": frac,
+            "latency": ann_lat,
+            "speedup_p50": speedup,
+        }
+    return out
+
+
+def run(args) -> None:
+    results = {
+        "config": {
+            "dim": args.dim,
+            "queries": args.queries,
+            "k": args.k,
+            "quota": args.quota,
+            "centers": args.centers,
+            "spread": args.spread,
+            "seed": args.seed,
+            "kinds": list(args.kinds),
+        },
+        "sizes": [bench_size(n, args) for n in args.items],
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+# --------------------------------------------------------------------- #
+def smoke(args) -> None:
+    """Small-catalog run asserting recall floors + determinism (for CI)."""
+    num_items, num_queries, quota = 5_000, 32, 512
+    items, queries = make_catalog(
+        num_items, 32, num_queries, num_centers=64, spread=0.25, seed=args.seed
+    )
+    truth = [exact_topk(items, q, 10) for q in queries]
+
+    for kind in ("ivf", "lsh"):
+        first = make_index(kind, seed=args.seed).build(items, generation=7)
+        second = make_index(kind, seed=args.seed).build(items, generation=7)
+        assert first.fingerprint() == second.fingerprint(), (
+            f"{kind}: same seed + vectors must give bitwise-identical indexes"
+        )
+
+        recalls = []
+        for q, true_ids in zip(queries, truth):
+            ids = first.search(q, quota)
+            again = second.search(q, quota)
+            assert np.array_equal(ids, again), f"{kind}: candidate sets diverge"
+            assert ids.size >= min(quota, num_items), f"{kind}: quota not met"
+            recalls.append(recall_at_k(ids, true_ids))
+        recall = float(np.mean(recalls))
+        assert recall >= 0.9, f"{kind}: recall@10 {recall:.3f} below the 0.9 floor"
+
+        path = Path(args.workdir or ".") / f"smoke-{kind}.npz"
+        first.save(path)
+        loaded = load_index(path)
+        assert loaded.fingerprint() == first.fingerprint(), f"{kind}: save/load"
+        assert loaded.generation == 7, f"{kind}: generation lost in round trip"
+        q = queries[0]
+        assert np.array_equal(loaded.search(q, quota), first.search(q, quota))
+        path.unlink()
+        print(f"bench_retrieval smoke [{kind}]: recall@10 {recall:.3f}, "
+              "determinism + round trip OK")
+    print("bench_retrieval smoke: all floors OK")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--items", type=int, nargs="+", default=[100_000, 1_000_000],
+        help="catalog sizes to sweep",
+    )
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument("--k", type=int, default=10, help="top-k for recall")
+    parser.add_argument(
+        "--quota", type=int, default=1024,
+        help="candidate quota per query (k_candidates)",
+    )
+    parser.add_argument(
+        "--centers", type=int, default=256,
+        help="mixture components in the synthetic catalog (0 = isotropic "
+        "Gaussian, the ANN worst case)",
+    )
+    parser.add_argument("--spread", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kinds", nargs="+", default=["ivf", "lsh"], choices=["ivf", "lsh"]
+    )
+    parser.add_argument("--out", type=str, default=str(DEFAULT_OUT))
+    parser.add_argument(
+        "--workdir", type=str, default=None,
+        help="where --smoke writes its temporary index files",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small recall-floor + determinism run (CI mode; no timings)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke(args)
+        return
+    run(args)
+
+
+if __name__ == "__main__":
+    main()

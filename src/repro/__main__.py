@@ -8,6 +8,7 @@ Usage::
     python -m repro scenarios          # list dataset generators
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
+    python -m repro retrieval-demo     # ANN rung: staleness + index-synced promote
     python -m repro trace-report f.jsonl   # render a --trace-out capture
     python -m repro store-verify DIR   # fsck an embedding store (--repair)
     python -m repro durability-smoke   # crash-matrix sweep (CI mode)
@@ -132,6 +133,12 @@ def _cmd_serve_demo(args) -> str:
     return report
 
 
+def _cmd_retrieval_demo(args) -> str:
+    from repro.retrieval.demo import run_demo
+
+    return run_demo(seed=args.seed, num_requests=args.requests)
+
+
 def _cmd_trace_report(args) -> str:
     from repro.telemetry import check_trace, trace_report
 
@@ -243,6 +250,14 @@ def main(argv: list[str] | None = None) -> int:
         "(with --smoke: also assert trace determinism + outcome reconciliation)",
     )
 
+    p_retr = sub.add_parser(
+        "retrieval-demo",
+        help="two-stage retrieval replay: ANN rung, injected + real index "
+        "staleness, and an index-synced re-promotion",
+    )
+    p_retr.add_argument("--seed", type=int, default=0)
+    p_retr.add_argument("--requests", type=int, default=150)
+
     p_trace = sub.add_parser(
         "trace-report",
         help="render a --trace-out JSONL capture: span tree, hotspots, outcomes",
@@ -302,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_models())
     elif args.command == "serve-demo":
         print(_cmd_serve_demo(args))
+    elif args.command == "retrieval-demo":
+        print(_cmd_retrieval_demo(args))
     elif args.command == "trace-report":
         print(_cmd_trace_report(args))
     elif args.command == "store-verify":

@@ -48,6 +48,21 @@ class StoreCorruptionError(StoreError):
     """On-disk store data failed verification (bad magic, checksum, torn file)."""
 
 
+class RetrievalError(KgrecError):
+    """An ANN retrieval index operation failed (build, search, save/load)."""
+
+
+class IndexStaleError(RetrievalError):
+    """The ANN index does not match the embeddings currently being served.
+
+    Raised by the two-stage retrieval rung when its candidate index was
+    built against a different embedding generation (or catalog size) than
+    the one its base recommender now scores with.  The serving ladder
+    treats it like any rung failure: the request degrades to the exact
+    rung — a typed outcome, never a mixed-generation answer.
+    """
+
+
 class ServingError(KgrecError):
     """Base class for errors raised at the online serving boundary."""
 

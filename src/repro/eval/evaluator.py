@@ -54,6 +54,13 @@ class Evaluator:
     max_users:
         Optional cap on evaluated users (speeds up large sweeps); users are
         subsampled deterministically from ``seed``.
+    assume_fresh:
+        Promise that ``model.score_all`` returns a *fresh* array per call
+        (true for every in-repo recommender).  The evaluator then masks
+        seen items in that array directly instead of taking a defensive
+        per-user copy — at catalog scale the copy is a measurable slice of
+        evaluation time.  Leave ``False`` for models that might hand back
+        a view of an internal buffer.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class Evaluator:
         num_negatives: int = 50,
         max_users: int | None = None,
         seed: int | np.random.Generator | None = 0,
+        assume_fresh: bool = False,
     ) -> None:
         if train.interactions.shape != test.interactions.shape:
             raise EvaluationError("train/test must share the matrix shape")
@@ -71,6 +79,7 @@ class Evaluator:
         self.test = test
         self.k_values = tuple(k_values)
         self.num_negatives = num_negatives
+        self.assume_fresh = bool(assume_fresh)
         rng = ensure_rng(seed)
 
         eligible = [
@@ -112,8 +121,16 @@ class Evaluator:
         max_k = max(self.k_values)
         for user in self.users:
             relevant = set(self.test.interactions.items_of(user).tolist())
-            scores = np.array(model.score_all(user), dtype=np.float64, copy=True)
-            ranked_scores = scores.copy()
+            scores = np.asarray(model.score_all(user), dtype=np.float64)
+            # AUC reads come before the seen-item masking so the fresh-array
+            # path can mask in place without a per-user defensive copy.
+            negatives = self._negatives.get(user)
+            auc_value = (
+                metrics.auc(scores[list(relevant)], scores[negatives])
+                if negatives is not None and negatives.size
+                else None
+            )
+            ranked_scores = scores if self.assume_fresh else scores.copy()
             ranked_scores[self.train.interactions.items_of(user)] = -np.inf
             order = np.argsort(-ranked_scores, kind="stable")[: max_k * 4]
 
@@ -124,10 +141,8 @@ class Evaluator:
                 push(f"HR@{k}", metrics.hit_ratio_at_k(order, relevant, k))
             push("MRR", metrics.reciprocal_rank(order, relevant))
 
-            negatives = self._negatives.get(user)
-            if negatives is not None and negatives.size:
-                pos_scores = scores[list(relevant)]
-                push("AUC", metrics.auc(pos_scores, scores[negatives]))
+            if auc_value is not None:
+                push("AUC", auc_value)
 
         values = {key: float(np.mean(vals)) for key, vals in per_metric.items()}
         return EvalResult(
@@ -142,14 +157,14 @@ class Evaluator:
         max_k = max(self.k_values)
         for user in self.users:
             relevant = set(self.test.interactions.items_of(user).tolist())
-            scores = np.array(model.score_all(user), dtype=np.float64, copy=True)
+            scores = np.asarray(model.score_all(user), dtype=np.float64)
             if metric == "AUC":
                 negatives = self._negatives.get(user)
                 if negatives is None or not negatives.size:
                     continue
                 rows.append(metrics.auc(scores[list(relevant)], scores[negatives]))
                 continue
-            ranked = scores.copy()
+            ranked = scores if self.assume_fresh else scores.copy()
             ranked[self.train.interactions.items_of(user)] = -np.inf
             order = np.argsort(-ranked, kind="stable")[: max_k * 4]
             name, __, k_str = metric.partition("@")

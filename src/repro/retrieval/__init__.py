@@ -1,0 +1,48 @@
+"""Two-stage retrieval: ANN candidate generation + exact rerank.
+
+Ranking a million-item catalog per request with ``score_all`` is linear
+in the catalog; this package makes serving sublinear by splitting every
+request into *candidate generation* over an approximate top-k index and
+an *exact rerank* of only the candidates (see ``docs/retrieval.md``):
+
+* :mod:`repro.retrieval.base` — the :class:`AnnIndex` interface
+  (``build`` / ``search`` / ``search_batch`` / ``save`` / ``load``),
+  seed-deterministic with fingerprintable contents, plus exact-top-k
+  ground-truth and recall helpers.
+* :mod:`repro.retrieval.ivf` — :class:`IvfIndex`: k-means coarse
+  partitions, ``nprobe``-controlled probing, chunked vectorized
+  assignment.
+* :mod:`repro.retrieval.lsh` — :class:`LshIndex`: multi-table
+  random-hyperplane signatures packed into ``uint64``, Hamming-wave
+  bucket probing over signature-sorted arrays.
+* :mod:`repro.retrieval.two_stage` — :class:`TwoStageRecommender`, the
+  serving rung that wraps any embedding-backed recommender (including the
+  store-backed :class:`~repro.store.serving.StoredEmbeddingRecommender`),
+  with typed :class:`~repro.core.exceptions.IndexStaleError` degradation
+  and index rebuilds hooked into ``ModelRegistry.promote``; plus
+  :class:`ArrayEmbeddingRecommender`, the in-memory protocol adapter.
+
+Benchmarks (recall@k vs exact, p50/p99 latency at 10^5 and 10^6 items)
+live in ``benchmarks/bench_retrieval.py`` →
+``benchmarks/BENCH_retrieval.json``; ``python -m repro retrieval-demo``
+replays the ANN rung, an injected staleness episode, and an index-synced
+promotion end to end.
+"""
+
+from __future__ import annotations
+
+from .base import AnnIndex, exact_topk, load_index, recall_at_k
+from .ivf import IvfIndex
+from .lsh import LshIndex
+from .two_stage import ArrayEmbeddingRecommender, TwoStageRecommender
+
+__all__ = [
+    "AnnIndex",
+    "IvfIndex",
+    "LshIndex",
+    "TwoStageRecommender",
+    "ArrayEmbeddingRecommender",
+    "load_index",
+    "exact_topk",
+    "recall_at_k",
+]

@@ -1,0 +1,231 @@
+"""Inverted-file (coarse k-means) candidate index.
+
+The classic production ANN layout: partition the item vectors into
+``num_lists`` cells with a few rounds of seeded k-means, store each
+cell's member ids contiguously (CSR: offsets + one flat id array), and
+at query time score only the ``nprobe`` cells whose centroids sit
+closest to the query.  Probing more cells trades latency for recall;
+``num_lists`` trades build cost and per-cell size.
+
+Everything is vectorized NumPy and seed-deterministic:
+
+* centroid init is a seeded no-replacement draw of data points;
+* assignment runs in fixed-size chunks with the
+  ``||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2`` expansion (the ``||x||^2``
+  term is constant per row and dropped from the argmin);
+* k-means trains on a seeded subsample when the table is large (the
+  standard scale trick), then one full chunked assignment builds the
+  lists;
+* empty cells are re-seeded deterministically to the points currently
+  worst-served by their centroid, so every cell is non-empty and two
+  builds from the same seed are bitwise identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import RetrievalError
+from repro.telemetry.base import get_active
+
+from .base import AnnIndex, register_index_kind
+
+__all__ = ["IvfIndex"]
+
+#: Rows per assignment chunk — bounds the (chunk x num_lists) score matrix.
+_CHUNK = 65_536
+
+
+@register_index_kind
+class IvfIndex(AnnIndex):
+    """K-means inverted-file index with ``nprobe``-controlled search.
+
+    Parameters
+    ----------
+    num_lists:
+        Number of coarse cells.  ``None`` (default) picks
+        ``round(sqrt(n))`` at build time — cells of ~``sqrt(n)`` members,
+        so probe cost grows as ``O(sqrt(n))`` instead of ``O(n)``.
+    nprobe:
+        Cells probed per query (clamped to ``num_lists`` at search time).
+    iters:
+        K-means refinement rounds.
+    train_size:
+        Cap on vectors used to *train* the centroids (the full table is
+        always assigned to lists).  ``None`` trains on everything.
+    """
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        num_lists: int | None = None,
+        nprobe: int = 16,
+        iters: int = 8,
+        train_size: int | None = 100_000,
+        seed: int = 0,
+        metric: str = "ip",
+    ) -> None:
+        super().__init__(seed=seed, metric=metric)
+        if num_lists is not None and num_lists < 1:
+            raise RetrievalError("num_lists must be >= 1")
+        if nprobe < 1:
+            raise RetrievalError("nprobe must be >= 1")
+        if iters < 1:
+            raise RetrievalError("iters must be >= 1")
+        self.num_lists = num_lists
+        self.nprobe = int(nprobe)
+        self.iters = int(iters)
+        self.train_size = train_size
+        self._centroids: np.ndarray | None = None  # (L, dim) float32
+        self._offsets: np.ndarray | None = None  # (L + 1,) int64
+        self._members: np.ndarray | None = None  # (n,) int64, grouped by cell
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _assign(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Chunked nearest-centroid assignment (L2, the k-means geometry)."""
+        c_norm = np.einsum("ij,ij->i", centroids, centroids)
+        out = np.empty(vectors.shape[0], dtype=np.int64)
+        for start in range(0, vectors.shape[0], _CHUNK):
+            block = vectors[start : start + _CHUNK]
+            # ||x||^2 is constant per row: argmin over -2 x.c + ||c||^2.
+            scores = block @ centroids.T
+            scores *= -2.0
+            scores += c_norm[None, :]
+            out[start : start + _CHUNK] = np.argmin(scores, axis=1)
+        return out
+
+    def _kmeans(self, vectors: np.ndarray, num_lists: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        n = vectors.shape[0]
+        train = vectors
+        if self.train_size is not None and n > self.train_size:
+            take = max(self.train_size, min(n, 64 * num_lists))
+            train = vectors[np.sort(rng.choice(n, size=take, replace=False))]
+        centroids = train[
+            np.sort(rng.choice(train.shape[0], size=num_lists, replace=False))
+        ].astype(np.float32, copy=True)
+        for __ in range(self.iters):
+            assign = self._assign(train, centroids)
+            sums = np.zeros_like(centroids, dtype=np.float64)
+            np.add.at(sums, assign, train.astype(np.float64))
+            counts = np.bincount(assign, minlength=num_lists)
+            filled = counts > 0
+            centroids[filled] = (
+                sums[filled] / counts[filled, None]
+            ).astype(np.float32)
+            empty = np.nonzero(~filled)[0]
+            if empty.size:
+                # Deterministic re-seed: hand each empty cell one of the
+                # points farthest from its current centroid.
+                dist = np.einsum(
+                    "ij,ij->i", train - centroids[assign], train - centroids[assign]
+                )
+                worst = np.argsort(-dist, kind="stable")[: empty.size]
+                centroids[empty] = train[worst]
+        return centroids
+
+    def build(self, vectors: np.ndarray, generation: int | None = None) -> "IvfIndex":
+        vectors = self._check_vectors(vectors)
+        n, dim = vectors.shape
+        num_lists = self.num_lists
+        if num_lists is None:
+            num_lists = max(1, int(round(float(n) ** 0.5)))
+        num_lists = min(num_lists, n)
+        tel = get_active()
+        span = (
+            tel.begin(
+                "retrieval/build", kind=self.kind, vectors=n, dim=dim,
+                lists=num_lists, generation=generation,
+            )
+            if tel.enabled
+            else None
+        )
+        centroids = self._kmeans(vectors, num_lists)
+        assign = self._assign(vectors, centroids)
+        order = np.argsort(assign, kind="stable")
+        counts = np.bincount(assign, minlength=num_lists)
+        offsets = np.zeros(num_lists + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._centroids = centroids
+        self._offsets = offsets
+        self._members = order.astype(np.int64)
+        self.num_vectors, self.dim = n, dim
+        self.generation = int(generation) if generation is not None else None
+        if span is not None:
+            tel.counter("retrieval.index_builds", index=self.kind).inc()
+            tel.end(span, outcome="ok")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def _probe_order(self, query: np.ndarray) -> np.ndarray:
+        """Cell indices by decreasing promise for ``query``."""
+        if self.metric == "ip":
+            promise = self._centroids @ query
+        else:
+            delta = self._centroids - query[None, :]
+            promise = -np.einsum("ij,ij->i", delta, delta)
+        return np.argsort(-promise, kind="stable")
+
+    def search(self, query: np.ndarray, k: int) -> np.ndarray:
+        self._require_built()
+        query = self._check_query(query)
+        if k < 1:
+            raise RetrievalError("k must be >= 1")
+        order = self._probe_order(query)
+        quota = min(int(k), self.num_vectors)
+        chunks: list[np.ndarray] = []
+        count = 0
+        probed = 0
+        for cell in order:
+            members = self._members[
+                self._offsets[cell] : self._offsets[cell + 1]
+            ]
+            probed += 1
+            if members.size:
+                chunks.append(members)
+                count += members.size
+            # Probe nprobe cells, then keep widening only until the k
+            # quota is met (sparse cells must not starve the rerank).
+            if probed >= self.nprobe and count >= quota:
+                break
+        tel = get_active()
+        if tel.enabled:
+            tel.counter("retrieval.probes", index=self.kind).inc(probed)
+        if not chunks:  # pragma: no cover - every cell non-empty by build
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(chunks))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _config(self) -> dict:
+        return {
+            "num_lists": self.num_lists,
+            "nprobe": self.nprobe,
+            "iters": self.iters,
+            "train_size": self.train_size,
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_built()
+        return {
+            "centroids": self._centroids,
+            "offsets": self._offsets,
+            "members": self._members,
+        }
+
+    def _restore_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        try:
+            self._centroids = np.ascontiguousarray(
+                arrays["centroids"], dtype=np.float32
+            )
+            self._offsets = np.ascontiguousarray(arrays["offsets"], dtype=np.int64)
+            self._members = np.ascontiguousarray(arrays["members"], dtype=np.int64)
+        except KeyError as exc:
+            raise RetrievalError(f"ivf index file is missing array {exc}") from exc

@@ -24,7 +24,11 @@ request index instead of the training step:
 * ``"exception"`` — raise :class:`InjectedFault` from inside a model call
   (exercises circuit breakers and fallback chains),
 * ``"nan_scores"`` — poison the model's score vector with NaN (exercises
-  :func:`~repro.runtime.guards.validate_scores` at the serving boundary).
+  :func:`~repro.runtime.guards.validate_scores` at the serving boundary),
+* ``"index_stale"`` — raise
+  :class:`~repro.core.exceptions.IndexStaleError` from inside the model
+  call, as a live ANN index that no longer matches its embeddings would
+  (exercises the candidate rung's typed degradation to the exact rung).
 
 Training hooks ignore serving kinds and vice versa, so one plan can drive
 both layers.
@@ -60,7 +64,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.core.exceptions import ConfigError
+from repro.core.exceptions import ConfigError, IndexStaleError
 from repro.core.rng import ensure_rng
 from repro.runtime.guards import raw_grad
 
@@ -77,7 +81,12 @@ __all__ = [
 ]
 
 TRAINING_FAULT_KINDS: tuple[str, ...] = ("nan_grad", "raise", "stall")
-SERVING_FAULT_KINDS: tuple[str, ...] = ("latency", "exception", "nan_scores")
+SERVING_FAULT_KINDS: tuple[str, ...] = (
+    "latency",
+    "exception",
+    "nan_scores",
+    "index_stale",
+)
 IO_FAULT_KINDS: tuple[str, ...] = (
     "torn_write",
     "bitrot",
@@ -211,6 +220,11 @@ class FaultInjector:
             elif fault.kind == "exception":
                 self.injected.append(fault)
                 raise InjectedFault(f"injected serving fault at request {step}")
+            elif fault.kind == "index_stale":
+                self.injected.append(fault)
+                raise IndexStaleError(
+                    f"injected stale ANN index at request {step}"
+                )
 
     # ------------------------------------------------------------------ #
     # IO-shaped hooks (step = the store's global IO-operation index)

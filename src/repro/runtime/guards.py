@@ -133,6 +133,9 @@ class ScoreReport:
     ``ok`` is true iff the array is 1-d with the expected length and every
     entry is finite.  The counts let callers distinguish a model that
     produced a few NaNs from one that returned garbage wholesale.
+    ``num_scored`` is the vector length actually validated: ``None`` for a
+    full-catalog vector, the candidate count for a candidate-subset
+    validation (the ANN serving rung).
     """
 
     ok: bool
@@ -141,25 +144,66 @@ class ScoreReport:
     num_nan: int = 0
     num_inf: int = 0
     reason: str = ""
+    num_scored: int | None = None
 
     def describe(self) -> str:
-        if self.ok:
-            return f"ok ({self.expected_items} finite scores)"
-        return self.reason
+        if not self.ok:
+            return self.reason
+        if self.num_scored is not None:
+            return (
+                f"ok ({self.num_scored} finite candidate scores over "
+                f"{self.expected_items} items)"
+            )
+        return f"ok ({self.expected_items} finite scores)"
 
 
-def validate_scores(scores, num_items: int) -> ScoreReport:
+def validate_scores(scores, num_items: int, expected_indices=None) -> ScoreReport:
     """Check a ``score_all`` output: 1-d, ``num_items`` long, all finite.
+
+    With ``expected_indices`` the check switches to *candidate-subset*
+    mode (the ANN retrieval rung scores only a candidate set, not the
+    full catalog): ``scores`` must be 1-d of exactly that length and all
+    finite, and the indices themselves must be unique integers inside
+    ``[0, num_items)`` — so a short vector paired with its index set is a
+    valid partial scoring, while a short vector alone still reads as
+    corruption.
 
     Never raises — returns a :class:`ScoreReport` so both the serving
     boundary and the hot-swap canary probe can decide policy themselves.
     """
     arr = np.asarray(scores)
     shape = tuple(int(s) for s in arr.shape)
-    if arr.ndim != 1 or shape != (num_items,):
+    if expected_indices is not None:
+        idx = np.asarray(expected_indices)
+        if idx.ndim != 1 or idx.size < 1:
+            return ScoreReport(
+                ok=False, expected_items=num_items, actual_shape=shape,
+                reason=f"expected a non-empty 1-d candidate set, got shape "
+                f"{tuple(int(s) for s in idx.shape)}",
+            )
+        if not np.issubdtype(idx.dtype, np.integer):
+            return ScoreReport(
+                ok=False, expected_items=num_items, actual_shape=shape,
+                reason=f"candidate indices must be integers, got dtype {idx.dtype}",
+            )
+        if idx.min() < 0 or idx.max() >= num_items:
+            return ScoreReport(
+                ok=False, expected_items=num_items, actual_shape=shape,
+                reason=f"candidate indices out of range for {num_items} items "
+                f"(min {int(idx.min())}, max {int(idx.max())})",
+            )
+        if np.unique(idx).size != idx.size:
+            return ScoreReport(
+                ok=False, expected_items=num_items, actual_shape=shape,
+                reason="candidate indices contain duplicates",
+            )
+        expected_shape = (int(idx.size),)
+    else:
+        expected_shape = (num_items,)
+    if arr.ndim != 1 or shape != expected_shape:
         return ScoreReport(
             ok=False, expected_items=num_items, actual_shape=shape,
-            reason=f"expected shape ({num_items},), got {shape}",
+            reason=f"expected shape {expected_shape}, got {shape}",
         )
     if not np.issubdtype(arr.dtype, np.number):
         return ScoreReport(
@@ -175,7 +219,10 @@ def validate_scores(scores, num_items: int) -> ScoreReport:
             num_nan=num_nan, num_inf=num_inf,
             reason=f"non-finite scores: {num_nan} NaN, {num_inf} Inf",
         )
-    return ScoreReport(ok=True, expected_items=num_items, actual_shape=shape)
+    return ScoreReport(
+        ok=True, expected_items=num_items, actual_shape=shape,
+        num_scored=None if expected_indices is None else int(arr.size),
+    )
 
 
 class DivergenceDetector:

@@ -102,25 +102,36 @@ class ModelRegistry:
     def probe(
         self, model: Recommender, canary_users: Sequence[int]
     ) -> list[ScoreReport]:
-        """Canary smoke probe: one validated ``score_all`` per canary user.
+        """Canary smoke probe: one validated scoring call per canary user.
 
-        A model call that *raises* is reported as a failed
+        A candidate rung (``supports_candidates``) is probed through
+        ``score_candidates`` — the call the service will actually make —
+        and validated in candidate-subset mode, so a stale or broken ANN
+        index rejects the promotion instead of hiding behind an exact
+        fallback.  A model call that *raises* is reported as a failed
         :class:`ScoreReport` rather than propagating, so a crashing
         candidate is rejected the same way a NaN-scoring one is.
         """
         reports: list[ScoreReport] = []
+        candidate_rung = bool(getattr(model, "supports_candidates", False))
+        entry = "score_candidates" if candidate_rung else "score_all"
         for user in canary_users:
             try:
-                scores = model.score_all(int(user))
+                if candidate_rung:
+                    ids, scores = model.score_candidates(int(user))
+                else:
+                    ids, scores = None, model.score_all(int(user))
             except Exception as exc:  # noqa: BLE001 - probe must not propagate
                 reports.append(
                     ScoreReport(
                         ok=False, expected_items=self.num_items, actual_shape=(),
-                        reason=f"score_all({user}) raised {type(exc).__name__}: {exc}",
+                        reason=f"{entry}({user}) raised {type(exc).__name__}: {exc}",
                     )
                 )
                 continue
-            reports.append(validate_scores(scores, self.num_items))
+            reports.append(
+                validate_scores(scores, self.num_items, expected_indices=ids)
+            )
         return reports
 
     def promote(
@@ -137,6 +148,14 @@ class ModelRegistry:
         the swap moves no embedding arrays: the candidate already holds a
         mapped view of its generation, and promotion is one reference
         assignment here plus that generation recorded for the audit trail.
+
+        A candidate exposing ``sync_index`` (a
+        :class:`~repro.retrieval.two_stage.TwoStageRecommender`) gets its
+        ANN index rebuilt against its current embedding generation *before*
+        the canary probe, so the swap installs index and embeddings as one
+        unit — a rebuild failure rejects the promotion with the previous
+        live model untouched, and no live model ever pairs an index from
+        one generation with embeddings from another.
         """
         canary = tuple(int(u) for u in canary_users)
         if not canary:
@@ -153,6 +172,21 @@ class ModelRegistry:
             if tel.enabled
             else None
         )
+        sync = getattr(model, "sync_index", None)
+        if callable(sync):
+            try:
+                sync()
+            except Exception as exc:  # noqa: BLE001 - rebuild failure = rejection
+                reason = f"index sync failed: {type(exc).__name__}: {exc}"
+                record = PromotionRecord(
+                    at=self.clock(), name=name, promoted=False,
+                    canary_users=canary, reason=reason,
+                    canary_seed=canary_seed, generation=generation,
+                )
+                self.history.append(record)
+                if span is not None:
+                    tel.end(span, outcome="rejected", error=type(exc).__name__)
+                raise PromotionError(f"candidate {name!r}: {reason}") from exc
         reports = self.probe(model, canary)
         bad = [(u, r) for u, r in zip(canary, reports) if not r.ok]
         if bad:

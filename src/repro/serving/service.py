@@ -399,13 +399,26 @@ class RecommenderService:
             if breaker is not None and not breaker.allow():
                 self.metrics.incr(f"breaker_rejected::{name}")
                 continue
+            # A candidate rung (e.g. TwoStageRecommender) answers with an
+            # (ids, scores) subset instead of a full score vector; it is
+            # validated and ranked against exactly that subset.
+            candidate_rung = bool(getattr(model, "supports_candidates", False))
             rung_span = tel.begin("serve/rung", rung=name) if tel.enabled else None
             try:
                 if name != STATIC_RUNG:
                     deadline.check(f"before rung {name!r}")
-                scores = self._call_rung(request_id, name, model, user_id,
-                                         primary=name == live_name)
-                report = validate_scores(scores, self.dataset.num_items)
+                result = self._call_rung(request_id, name, model, user_id,
+                                         primary=name == live_name,
+                                         k=int(request.k),
+                                         candidates=candidate_rung)
+                if candidate_rung:
+                    ids, scores = result
+                    report = validate_scores(
+                        scores, self.dataset.num_items, expected_indices=ids
+                    )
+                else:
+                    ids, scores = None, result
+                    report = validate_scores(scores, self.dataset.num_items)
                 if not report.ok:
                     self.metrics.incr(f"invalid_scores::{name}")
                     raise _RungFailed(f"invalid scores: {report.describe()}")
@@ -429,9 +442,11 @@ class RecommenderService:
             if breaker is not None:
                 breaker.record_success()
             if rung_span is not None:
+                if ids is not None:
+                    rung_span.set(candidates=int(np.asarray(ids).size))
                 tel.end(rung_span, outcome="ok")
             items, top_scores = self._rank(
-                scores, user_id, int(request.k), request.exclude_seen
+                scores, user_id, int(request.k), request.exclude_seen, ids=ids
             )
             return name, items, top_scores
         # The static rung cannot fail, so this line requires a programming
@@ -440,37 +455,54 @@ class RecommenderService:
 
     def _call_rung(
         self, request_id: int, name: str, model: Recommender, user_id: int,
-        primary: bool,
-    ) -> np.ndarray:
-        """One rung's scoring call, with faults/retries on the live rung."""
+        primary: bool, k: int = 1, candidates: bool = False,
+    ):
+        """One rung's scoring call, with faults/retries on the live rung.
 
-        def attempt() -> np.ndarray:
+        Returns a full score vector, or ``(ids, scores)`` when
+        ``candidates`` is set (the rung exposes ``score_candidates``).
+        Faults and retries apply identically on both shapes, so a
+        candidate rung degrades through exactly the same machinery.
+        """
+
+        def attempt():
             if primary and self.faults is not None:
                 self.faults.on_request(request_id)
-            scores = model.score_all(user_id)
+            if candidates:
+                ids, scores = model.score_candidates(user_id, k)
+            else:
+                ids, scores = None, model.score_all(user_id)
             if primary and self.faults is not None:
                 scores = self.faults.corrupt_scores(request_id, scores)
-            return scores
+            return scores if ids is None else (ids, scores)
 
         if primary and self.retry is not None:
             return self.retry.call(attempt)
         return attempt()
 
     def _rank(
-        self, scores: np.ndarray, user_id: int, k: int, exclude_seen: bool
+        self, scores: np.ndarray, user_id: int, k: int, exclude_seen: bool,
+        ids: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k over a full score vector, or over an ``ids``-aligned subset."""
         scores = np.array(scores, dtype=np.float64, copy=True)
         if exclude_seen:
             seen = self.dataset.interactions.items_of(user_id)
-            scores[seen] = -np.inf
+            if ids is None:
+                scores[seen] = -np.inf
+            else:
+                scores[np.isin(ids, seen)] = -np.inf
         k = min(k, scores.size)
         top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top], kind="stable")].astype(np.int64)
+        top = top[np.argsort(-scores[top], kind="stable")]
         # When k exceeds the user's unseen catalog, the tail of the top-k is
         # masked seen items at -inf; a serving response must not pad with
         # them, so the list is truncated instead.
         keep = np.isfinite(scores[top])
-        return top[keep], scores[top][keep]
+        top, top_scores = top[keep], scores[top][keep]
+        if ids is not None:
+            return np.asarray(ids, dtype=np.int64)[top], top_scores
+        return top.astype(np.int64), top_scores
 
     # ------------------------------------------------------------------ #
     # probes

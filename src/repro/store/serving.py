@@ -110,7 +110,49 @@ class StoredEmbeddingRecommender(Recommender):
         items = entities.gather(self.item_entities).astype(np.float64)
         if self.relation_id is None:
             return items @ u
+        delta = (u + self._relation())[None, :] - items
+        return -(delta**2).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # retrieval protocol (see repro.retrieval.two_stage): lets a
+    # TwoStageRecommender generate ANN candidates over this model's item
+    # vectors and exact-rerank them by gathering only the candidate rows
+    # from the serve-mode mmap views — never the full table.
+    # ------------------------------------------------------------------ #
+    def _relation(self) -> np.ndarray:
         relations = self.store.table(self.relation_table)
-        r = relations.gather([int(self.relation_id)])[0].astype(np.float64)
-        delta = (u + r)[None, :] - items
+        return relations.gather([int(self.relation_id)])[0].astype(np.float64)
+
+    @property
+    def retrieval_metric(self) -> str:
+        """``"ip"`` for dot-product scoring, ``"l2"`` for TransE translation."""
+        return "ip" if self.relation_id is None else "l2"
+
+    def item_vectors(self) -> np.ndarray:
+        """The item rows an ANN index is built over (one materialized read).
+
+        This is an index-*build*-time operation (per promotion, not per
+        request); request-path gathers stay candidate-sized.
+        """
+        entities = self.store.table(self.entity_table)
+        return entities.gather(self.item_entities)
+
+    def query_vector(self, user_id: int) -> np.ndarray:
+        """The per-user ANN query: ``u`` for dot scoring, ``u + r`` for TransE."""
+        entities = self.store.table(self.entity_table)
+        u = entities.gather([int(self.user_entities[int(user_id)])])[0]
+        u = u.astype(np.float64)
+        return u if self.relation_id is None else u + self._relation()
+
+    def score_items(self, user_id: int, item_ids) -> np.ndarray:
+        """Exact scores for a candidate subset (gathers only those rows)."""
+        self.fitted_dataset
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        entities = self.store.table(self.entity_table)
+        u = entities.gather([int(self.user_entities[int(user_id)])])[0]
+        u = u.astype(np.float64)
+        items = entities.gather(self.item_entities[item_ids]).astype(np.float64)
+        if self.relation_id is None:
+            return items @ u
+        delta = (u + self._relation())[None, :] - items
         return -(delta**2).sum(axis=1)

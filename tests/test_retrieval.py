@@ -1,0 +1,405 @@
+"""Two-stage retrieval tests: index determinism, typed staleness
+degradation through the serving ladder, and index-synced promotion.
+
+The three contracts under test:
+
+* **determinism** — same seed + same vectors ⇒ bitwise-identical index
+  contents (fingerprints), candidate sets, and recall, for both kinds,
+  across rebuilds and across a save/load round trip;
+* **typed degradation** — a stale, missing, or fault-injected index never
+  surfaces as an exception or an empty response: the candidate rung
+  raises :class:`IndexStaleError`, the ladder answers through the exact
+  rung, and the outcome is ``degraded``;
+* **atomic promotion** — ``ModelRegistry.promote`` rebuilds the index
+  against the candidate's embedding generation before the swap, so no
+  live model ever pairs an index from one generation with embeddings
+  from another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    ConfigError,
+    IndexStaleError,
+    PromotionError,
+    RetrievalError,
+)
+from repro.data import MOVIE_SCHEMA, generate_dataset
+from repro.eval import Evaluator
+from repro.kg.triples import TripleStore
+from repro.kge.translational import TransE
+from repro.retrieval import (
+    ArrayEmbeddingRecommender,
+    IvfIndex,
+    LshIndex,
+    TwoStageRecommender,
+    exact_topk,
+    load_index,
+    recall_at_k,
+)
+from repro.runtime.faults import Fault, FaultInjector, FaultPlan
+from repro.runtime.guards import validate_scores
+from repro.serving import ManualClock, RecommenderService, ServeRequest
+from repro.store import MmapShardStore, StoredEmbeddingRecommender
+
+KINDS = {"ivf": IvfIndex, "lsh": LshIndex}
+
+
+def clustered(num_rows, dim, seed, num_centers=16, spread=0.25):
+    """Mixture-of-Gaussians vectors — the geometry learned embeddings have."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_centers, dim))
+    rows = centers[rng.integers(num_centers, size=num_rows)]
+    return (rows + spread * rng.standard_normal((num_rows, dim))).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    items = clustered(600, 16, seed=1)
+    queries = clustered(8, 16, seed=2)
+    return items, queries
+
+
+# ---------------------------------------------------------------------- #
+# determinism + the AnnIndex contract
+# ---------------------------------------------------------------------- #
+class TestIndexDeterminism:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_same_seed_same_vectors_is_bitwise_identical(self, kind, catalog):
+        items, queries = catalog
+        first = KINDS[kind](seed=3).build(items, generation=5)
+        second = KINDS[kind](seed=3).build(items, generation=5)
+        assert first.fingerprint() == second.fingerprint()
+        truth = [exact_topk(items, q, 10) for q in queries]
+        recalls = []
+        for q, true_ids in zip(queries, truth):
+            a, b = first.search(q, 64), second.search(q, 64)
+            assert np.array_equal(a, b)
+            recalls.append(recall_at_k(a, true_ids))
+        again = [
+            recall_at_k(second.search(q, 64), t) for q, t in zip(queries, truth)
+        ]
+        assert recalls == again  # reported recall identical across builds
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_different_seed_differs(self, kind, catalog):
+        items, __ = catalog
+        assert (
+            KINDS[kind](seed=0).build(items).fingerprint()
+            != KINDS[kind](seed=1).build(items).fingerprint()
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_search_contract(self, kind, catalog):
+        """Sorted unique ids, at least k of them whenever possible."""
+        items, queries = catalog
+        index = KINDS[kind](seed=0).build(items)
+        for q in queries:
+            ids = index.search(q, 50)
+            assert ids.size >= 50
+            assert np.array_equal(ids, np.unique(ids))
+        assert index.search(queries[0], items.shape[0]).size == items.shape[0]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_save_load_round_trip(self, kind, catalog, tmp_path):
+        items, queries = catalog
+        index = KINDS[kind](seed=4).build(items, generation=9)
+        path = index.save(tmp_path / f"{kind}.npz")
+        loaded = load_index(path)
+        assert type(loaded) is KINDS[kind]
+        assert loaded.generation == 9
+        assert loaded.fingerprint() == index.fingerprint()
+        for q in queries:
+            assert np.array_equal(loaded.search(q, 32), index.search(q, 32))
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an index")
+        with pytest.raises(RetrievalError):
+            load_index(path)
+        with pytest.raises(RetrievalError):
+            load_index(tmp_path / "missing.npz")
+
+    def test_unbuilt_and_invalid_inputs_raise_typed(self):
+        index = IvfIndex()
+        with pytest.raises(RetrievalError):
+            index.search(np.zeros(4, dtype=np.float32), 5)
+        with pytest.raises(RetrievalError):
+            index.build(np.array([[np.nan, 0.0]], dtype=np.float32))
+        with pytest.raises(RetrievalError):
+            IvfIndex(metric="cosine")
+
+    def test_generation_is_assigned_last(self, catalog):
+        """A failed rebuild leaves the index stale, never half-fresh."""
+        items, __ = catalog
+        index = IvfIndex(seed=0).build(items, generation=1)
+        with pytest.raises(RetrievalError):
+            index.build(np.full((10, 16), np.nan, dtype=np.float32), generation=2)
+        assert index.generation == 1
+
+
+# ---------------------------------------------------------------------- #
+# the two-stage wrapper
+# ---------------------------------------------------------------------- #
+@pytest.fixture()
+def two_stage():
+    dataset = generate_dataset(MOVIE_SCHEMA, num_users=12, num_items=300, seed=0)
+    base = ArrayEmbeddingRecommender(
+        clustered(dataset.num_users, 16, seed=7),
+        clustered(dataset.num_items, 16, seed=8),
+        generation=1,
+    )
+    model = TwoStageRecommender(base, IvfIndex(seed=0), k_candidates=64)
+    model.fit(dataset)
+    model.sync_index()
+    return dataset, base, model
+
+
+class TestTwoStage:
+    def test_protocol_is_checked_at_init(self, two_stage):
+        from repro.models.baselines import MostPopular
+
+        with pytest.raises(ConfigError, match="retrieval protocol"):
+            TwoStageRecommender(MostPopular(), IvfIndex())
+
+    def test_candidate_scores_are_exact(self, two_stage):
+        dataset, base, model = two_stage
+        for user in range(4):
+            ids, scores = model.score_candidates(user)
+            assert ids.size >= model.k_candidates
+            np.testing.assert_array_equal(scores, base.score_all(user)[ids])
+
+    def test_score_all_ranks_candidates_like_the_base(self, two_stage):
+        """Among served items the order is exactly the base model's."""
+        dataset, base, model = two_stage
+        ids, __ = model.score_candidates(2)
+        full = model.score_all(2)
+        exact = base.score_all(2)
+        np.testing.assert_array_equal(full[ids], exact[ids])
+        assert full[np.setdiff1d(np.arange(dataset.num_items), ids)].max() < full[
+            ids
+        ].min()
+
+    def test_stale_generation_refuses_typed(self, two_stage):
+        dataset, base, model = two_stage
+        base.set_embeddings(item_vectors=base.item_vectors() * 1.01)
+        with pytest.raises(IndexStaleError, match="generation"):
+            model.score_candidates(0)
+        # score_all degrades to the exact path instead of raising...
+        np.testing.assert_array_equal(model.score_all(0), base.score_all(0))
+        # ...unless the owner opted out of the fallback.
+        strict = TwoStageRecommender(
+            base, model.index, k_candidates=64, exact_fallback=False
+        ).fit(dataset)
+        with pytest.raises(IndexStaleError):
+            strict.score_all(0)
+
+    def test_unbuilt_index_refuses_typed(self, two_stage):
+        dataset, base, __ = two_stage
+        model = TwoStageRecommender(base, IvfIndex(seed=0)).fit(dataset)
+        with pytest.raises(IndexStaleError, match="never been built"):
+            model.score_candidates(0)
+
+    def test_sync_index_is_idempotent_when_fresh(self, two_stage):
+        dataset, base, model = two_stage
+        before = model.index.fingerprint()
+        assert model.sync_index() == base.generation
+        assert model.index.fingerprint() == before
+
+
+# ---------------------------------------------------------------------- #
+# serving-ladder degradation + promotion atomicity
+# ---------------------------------------------------------------------- #
+def build_service(dataset, base, model, faults=None):
+    return RecommenderService(
+        dataset,
+        primary=("ann", model),
+        fallbacks=[("exact", base)],
+        faults=faults,
+        clock=ManualClock(),
+    )
+
+
+class TestServingDegradation:
+    def test_injected_index_stale_degrades_never_raises(self, two_stage):
+        """Fault-injected staleness: typed ``degraded`` outcome, never an
+        exception, never an empty response."""
+        dataset, base, model = two_stage
+        stale_steps = (1, 3, 4)
+        plan = FaultPlan([Fault(step=s, kind="index_stale") for s in stale_steps])
+        service = build_service(dataset, base, model, FaultInjector(plan))
+        for step in range(8):
+            response = service.serve(ServeRequest(user_id=step % 4, k=5))
+            assert response.ok
+            assert len(response.items) > 0
+            if step in stale_steps:
+                assert response.status == "degraded"
+                assert response.model == "exact"
+            else:
+                assert response.status == "ok"
+                assert response.model == "ann"
+        assert service.metrics.snapshot()["rung_errors::ann"] == len(stale_steps)
+
+    def test_real_staleness_then_promote_heals(self, two_stage):
+        dataset, base, model = two_stage
+        service = build_service(dataset, base, model)
+        assert service.serve(ServeRequest(user_id=0, k=5)).status == "ok"
+
+        base.set_embeddings(item_vectors=base.item_vectors() * 1.01)
+        stale = service.serve(ServeRequest(user_id=0, k=5))
+        assert stale.status == "degraded" and stale.model == "exact"
+
+        record = service.promote("ann", model)
+        assert record.generation == base.generation == model.index.generation
+        healed = service.serve(ServeRequest(user_id=0, k=5))
+        assert healed.status == "ok" and healed.model == "ann"
+
+    def test_candidate_rung_excludes_seen_items(self, two_stage):
+        dataset, base, model = two_stage
+        seen = dataset.interactions.items_of(1)
+        response = build_service(dataset, base, model).serve(
+            ServeRequest(user_id=1, k=10)
+        )
+        assert response.status == "ok"
+        assert not set(response.items) & set(seen.tolist())
+
+    def test_promotion_probes_the_candidate_path(self, two_stage):
+        """A candidate whose index cannot be rebuilt is rejected with the
+        previous live model untouched."""
+        dataset, base, model = two_stage
+        service = build_service(dataset, base, model)
+
+        broken = TwoStageRecommender(base, IvfIndex(seed=0), k_candidates=64)
+        broken.fit(dataset)
+        broken.sync_index = lambda force=False: (_ for _ in ()).throw(
+            RetrievalError("disk full")
+        )
+        with pytest.raises(PromotionError, match="index sync failed"):
+            service.promote("ann-broken", broken)
+        record = service.registry.history[-1]
+        assert not record.promoted and "disk full" in record.reason
+        assert service.registry.live_name == "ann"
+        assert service.serve(ServeRequest(user_id=0, k=5)).status == "ok"
+
+
+# ---------------------------------------------------------------------- #
+# store-backed: ANN over MmapShardStore serve-mode views
+# ---------------------------------------------------------------------- #
+def train_store(workdir, num_users, num_items, generations=2, seed=0):
+    num_entities = num_users + num_items
+    rng = np.random.default_rng(seed)
+    triples = TripleStore(
+        rng.integers(num_users, size=40),
+        np.zeros(40, dtype=np.int64),
+        rng.integers(num_users, num_entities, size=40),
+        num_entities=num_entities,
+        num_relations=1,
+    )
+    store = MmapShardStore.create(workdir, rows_per_shard=8, seed=seed)
+    model = TransE(num_entities, 1, dim=4, seed=seed, store=store)
+    for __ in range(generations):
+        model.fit(triples, epochs=1, batch_size=8, seed=seed)
+        store.commit()
+    store.close()
+
+
+@pytest.fixture()
+def stored_two_stage(tmp_path):
+    dataset = generate_dataset(MOVIE_SCHEMA, num_users=8, num_items=20, seed=0)
+    train_store(tmp_path / "store", dataset.num_users, dataset.num_items)
+    store = MmapShardStore.open(tmp_path / "store", mode="serve")
+    base = StoredEmbeddingRecommender(
+        store,
+        user_entities=np.arange(dataset.num_users),
+        item_entities=np.arange(
+            dataset.num_users, dataset.num_users + dataset.num_items
+        ),
+    ).fit(dataset)
+    model = TwoStageRecommender(base, LshIndex(seed=0), k_candidates=8)
+    model.fit(dataset)
+    yield dataset, store, base, model
+    store.close()
+
+
+class TestStoreBackedRetrieval:
+    def test_candidates_score_off_the_store(self, stored_two_stage):
+        dataset, store, base, model = stored_two_stage
+        model.sync_index()
+        assert model.index.generation == store.generation
+        ids, scores = model.score_candidates(3)
+        np.testing.assert_allclose(scores, base.score_all(3)[ids])
+
+    def test_generation_remap_staleness_and_promote(self, stored_two_stage):
+        """Promotion swaps index and store generation as one unit."""
+        dataset, store, base, model = stored_two_stage
+        service = build_service(dataset, base, model)
+        newest = store.generation
+        assert model.index.generation == newest  # promote() built it
+
+        base.refresh(newest - 1)  # roll the store back; index now stale
+        assert "generation" in model.index_report()
+        degraded = service.serve(ServeRequest(user_id=0, k=5))
+        assert degraded.status == "degraded" and degraded.model == "exact"
+
+        record = service.promote("ann", model)
+        assert record.generation == newest - 1
+        assert model.index.generation == store.generation == newest - 1
+        assert service.serve(ServeRequest(user_id=0, k=5)).status == "ok"
+
+
+# ---------------------------------------------------------------------- #
+# satellite: validate_scores candidate-subset mode
+# ---------------------------------------------------------------------- #
+class TestValidateScoresSubset:
+    def test_ok_subset(self):
+        report = validate_scores(
+            np.array([1.0, 2.0, 3.0]), 100, expected_indices=np.array([5, 7, 99])
+        )
+        assert report.ok and report.num_scored == 3
+        assert "candidate scores" in report.describe()
+
+    def test_full_mode_unchanged(self):
+        report = validate_scores(np.zeros(4), 4)
+        assert report.ok and report.num_scored is None
+
+    @pytest.mark.parametrize(
+        "scores, indices, why",
+        [
+            (np.zeros(2), np.array([1, 2, 3]), "length mismatch"),
+            (np.zeros(3), np.array([1, 2, 2]), "duplicate indices"),
+            (np.zeros(3), np.array([1, 2, 100]), "index out of range"),
+            (np.zeros(3), np.array([-1, 2, 3]), "negative index"),
+            (np.zeros(3), np.array([0.5, 2.0, 3.0]), "float indices"),
+            (np.zeros(0), np.zeros(0, dtype=np.int64), "empty candidate set"),
+            (np.array([1.0, np.nan, 3.0]), np.array([1, 2, 3]), "NaN scores"),
+        ],
+    )
+    def test_rejects(self, scores, indices, why):
+        assert not validate_scores(scores, 100, expected_indices=indices).ok, why
+
+
+# ---------------------------------------------------------------------- #
+# satellite: evaluator assume_fresh
+# ---------------------------------------------------------------------- #
+class TestEvaluatorAssumeFresh:
+    def test_metrics_identical_with_and_without_copy(self):
+        train = generate_dataset(MOVIE_SCHEMA, num_users=16, num_items=40, seed=0)
+        test = generate_dataset(
+            MOVIE_SCHEMA, num_users=16, num_items=40, seed=1
+        )
+        base = ArrayEmbeddingRecommender(
+            clustered(16, 8, seed=3), clustered(40, 8, seed=4)
+        ).fit(train)
+        results = {}
+        for flag in (False, True):
+            ev = Evaluator(train, test, seed=0, assume_fresh=flag)
+            results[flag] = ev.evaluate(base)
+        assert results[False].values == results[True].values
+        per_user = {
+            flag: Evaluator(train, test, seed=0, assume_fresh=flag).per_user_metric(
+                base, "NDCG@10"
+            )
+            for flag in (False, True)
+        }
+        np.testing.assert_array_equal(per_user[False], per_user[True])
