@@ -5,6 +5,7 @@ Usage::
     python -m repro table 1            # print Table 1 (likewise 2, 3, 4)
     python -m repro figure1            # run and print Figure 1
     python -m repro study e1           # run a comparative study (e1..e8)
+    python -m repro study e3 --parallel --workers 4   # same rows, pool speed
     python -m repro scenarios          # list dataset generators
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
@@ -39,7 +40,15 @@ def _cmd_figure1() -> str:
     return render_figure1()
 
 
-def _cmd_study(name: str, seed: int, trace_out: str | None = None) -> str:
+def _cmd_study(
+    name: str,
+    seed: int,
+    trace_out: str | None = None,
+    parallel: bool = False,
+    workers: int | None = None,
+) -> str:
+    import inspect
+
     from repro.experiments import comparative
     from repro.experiments.harness import results_table
 
@@ -60,6 +69,15 @@ def _cmd_study(name: str, seed: int, trace_out: str | None = None) -> str:
     }
     if name not in runners:
         raise SystemExit(f"unknown study {name!r}; choose from {sorted(runners)}")
+    runner = runners[name]
+    kwargs: dict = {"seed": seed}
+    if parallel:
+        # Panel-based studies expose executor/max_workers; the others
+        # (cold-start, link prediction, explainability) have no panel to
+        # parallelise, so --parallel is a clear error there, not a no-op.
+        if "executor" not in inspect.signature(runner).parameters:
+            raise SystemExit(f"study {name!r} does not support --parallel")
+        kwargs.update(executor="process", max_workers=workers)
     trace_note = ""
     if trace_out:
         # Activating here is what routes run_panel, KGE fits, optimizer
@@ -68,10 +86,10 @@ def _cmd_study(name: str, seed: int, trace_out: str | None = None) -> str:
 
         tel = Telemetry()
         with activated(tel):
-            result = runners[name](seed=seed)
+            result = runner(**kwargs)
         trace_note = f"\ntrace capture written to {tel.export_jsonl(trace_out)}"
     else:
-        result = runners[name](seed=seed)
+        result = runner(**kwargs)
     if result and hasattr(result[0], "model") and hasattr(result[0], "values"):
         return results_table(result, title=f"Study {name.upper()}") + trace_note
     lines = [f"Study {name.upper()}"]
@@ -225,6 +243,15 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="export the study's telemetry capture (spans + metrics) as JSONL",
     )
+    p_study.add_argument(
+        "--parallel", action="store_true",
+        help="run the study's panels in a process pool (row-identical to "
+        "sequential; panel-based studies only)",
+    )
+    p_study.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for --parallel (default: CPU count)",
+    )
 
     sub.add_parser("scenarios", help="list synthetic dataset generators")
     sub.add_parser("models", help="list implemented models by family")
@@ -310,7 +337,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figure1":
         print(_cmd_figure1())
     elif args.command == "study":
-        print(_cmd_study(args.name, args.seed, args.trace_out))
+        print(_cmd_study(args.name, args.seed, args.trace_out,
+                         parallel=args.parallel, workers=args.workers))
     elif args.command == "scenarios":
         print(_cmd_scenarios())
     elif args.command == "models":

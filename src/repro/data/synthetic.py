@@ -20,22 +20,48 @@ are rewired to random attributes of the same type, decoupling the KG from
 preference.  Sweeping it reproduces the survey's "KG helps when informative"
 claims (Study E1); ``density``/cold-start knobs reproduce the sparsity
 claims (Study E4).
+
+Performance
+-----------
+The hot loops (item latents, user taste draws, top-k interaction
+selection, faithful-link publication) are batched ``Generator`` draws and
+grouped ``argpartition`` calls; the default mode consumes the RNG stream
+in **exactly** the order the original per-item/per-user loop
+implementation did, so seeded datasets are bitwise-identical to the seed
+generator (asserted against :mod:`repro.data._reference` by
+``tests/test_synthetic_vectorized.py``).  Two draws cannot be reordered
+without changing the stream and therefore stay loops in exact mode: the
+per-item attribute-link sampling (a ``choice`` interleaved with scalar
+fill draws) and the per-link rewiring when ``kg_signal < 1.0`` (a
+conditional ``integers`` interleaved with ``random``).  ``fast=True``
+batches those too — same distributional structure, different (still
+deterministic) stream — which is what lets a 10^5-user / 10^6-interaction
+world generate in seconds; see ``docs/synthetic_worlds.md`` for the scale
+table.  Score matrices larger than :data:`_SCORE_CHUNK_ELEMENTS` are
+processed in fixed-size user chunks (never materialised whole); chunking
+draws the per-user degree vector *before* the per-chunk score noise, so
+above that threshold even exact mode diverges from the legacy stream —
+no legacy artifact exists at those sizes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.core.exceptions import ConfigError
+from repro.core.exceptions import ConfigError, DataError
 from repro.core.interactions import InteractionMatrix
 from repro.core.rng import ensure_rng
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleStore
 
 __all__ = ["AttributeSpec", "ScenarioSchema", "generate_dataset"]
+
+#: Above this many score-matrix elements (users x items) the generator
+#: switches to chunked score computation.  2^22 doubles = 32 MiB per chunk.
+_SCORE_CHUNK_ELEMENTS = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -51,7 +77,9 @@ class AttributeSpec:
     count:
         Number of attribute entities of this type.
     per_item:
-        ``(low, high)`` inclusive range of links per item.
+        ``(low, high)`` inclusive range of links per item.  Draws above
+        ``count`` are clamped (an item cannot link more distinct entities
+        than exist); a ``low`` above ``count`` is rejected outright.
     informative:
         Whether this attribute type carries taste factors; non-informative
         types are pure KG noise (e.g. ``release_year`` buckets).
@@ -88,6 +116,211 @@ class ScenarioSchema:
             raise ConfigError("at least one attribute type must be informative")
 
 
+def _validate_attribute_specs(schema: ScenarioSchema) -> None:
+    """Reject schemas whose link ranges cannot be satisfied.
+
+    ``per_item[0] > count`` used to send the link sampler into an infinite
+    ``while len(chosen) < k`` loop (there are no ``k`` distinct entities to
+    find); it is now a :class:`DataError` naming the offending field.
+    """
+    for spec in schema.attributes:
+        lo, hi = spec.per_item
+        if spec.count < 1:
+            raise DataError(
+                f"attribute {spec.name!r}: count must be >= 1, got {spec.count}"
+            )
+        if lo < 0 or lo > hi:
+            raise DataError(
+                f"attribute {spec.name!r}: per_item must satisfy "
+                f"0 <= low <= high, got {spec.per_item}"
+            )
+        if lo > spec.count:
+            raise DataError(
+                f"attribute {spec.name!r}: per_item minimum {lo} exceeds "
+                f"count={spec.count}; cannot draw that many distinct links"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Sampling helpers
+# --------------------------------------------------------------------- #
+def _draw_degrees(
+    rng: np.random.Generator,
+    activity: str,
+    mean_interactions: float,
+    num_users: int,
+    num_items: int,
+    zipf_exponent: float,
+) -> np.ndarray:
+    """Per-user interaction counts under the chosen activity law."""
+    if activity == "lognormal":
+        sigma = 0.6
+        degrees = rng.lognormal(
+            np.log(mean_interactions) - sigma**2 / 2, sigma, num_users
+        )
+    else:  # "zipf": heavier tail, one batched draw, rescaled to the target mean
+        from scipy.special import zeta
+
+        untruncated_mean = zeta(zipf_exponent - 1) / zeta(zipf_exponent)
+        raw = rng.zipf(zipf_exponent, size=num_users).astype(np.float64)
+        degrees = raw * (mean_interactions / untruncated_mean)
+    return np.clip(np.round(degrees), 2, num_items - 2).astype(np.int64)
+
+
+def _dedupe_rows(
+    rng: np.random.Generator,
+    cand: np.ndarray,
+    k_row: np.ndarray,
+    high: int,
+    max_rounds: int = 32,
+) -> np.ndarray:
+    """Make the first ``k_row[i]`` entries of each row distinct.
+
+    Bounded rejection resampling (the ``corrupt_batch`` idiom): rows whose
+    active prefix contains a duplicate get the duplicate positions redrawn
+    from ``[0, high)``; the handful of rows still colliding after
+    ``max_rounds`` (possible only when ``k`` is close to ``high``) fall
+    back to a deterministic fill with the smallest unused values.
+    """
+    n, m = cand.shape
+    col = np.arange(m)
+    active = col[None, :] < k_row[:, None]
+    # Inactive positions get per-column sentinels >= high so they can never
+    # collide with anything.
+    work = np.where(active, cand, high + col[None, :])
+    for _ in range(max_rounds):
+        srt = np.sort(work, axis=1)
+        bad = np.flatnonzero((srt[:, 1:] == srt[:, :-1]).any(axis=1))
+        if bad.size == 0:
+            return np.where(active, work, 0)
+        sub = work[bad]
+        # A position is a duplicate if an earlier position holds its value.
+        dup = ((sub[:, :, None] == sub[:, None, :])
+               & (col[None, None, :] < col[None, :, None])).any(axis=2)
+        sub[dup] = rng.integers(0, high, int(dup.sum()))
+        work[bad] = sub
+    srt = np.sort(work, axis=1)
+    for r in np.flatnonzero((srt[:, 1:] == srt[:, :-1]).any(axis=1)):
+        taken = set()
+        free = iter(range(high))
+        row = work[r]
+        for j in range(int(k_row[r])):
+            if int(row[j]) in taken:
+                for v in free:
+                    if v not in taken:
+                        row[j] = v
+                        break
+            taken.add(int(row[j]))
+    return np.where(active, work, 0)
+
+
+def _sample_links_exact(
+    rng: np.random.Generator,
+    schema: ScenarioSchema,
+    num_items: int,
+    item_primary: np.ndarray,
+    attr_factors: dict[str, np.ndarray],
+    num_factors: int,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Per-item attribute links, consuming the RNG in legacy loop order.
+
+    The draw sequence per item — one scalar ``integers`` for ``k``, one
+    ``choice`` from the primary-factor pool, then scalar rejection fills —
+    interleaves variable-length calls, so it cannot be batched without
+    changing the stream.  Returns ``{name: (lengths, flat_links)}`` where
+    ``flat_links`` concatenates each item's sorted links in item order.
+    """
+    links: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for spec in schema.attributes:
+        same_factor = {
+            f: np.flatnonzero(attr_factors[spec.name] == f)
+            for f in range(num_factors)
+        }
+        lo, hi = spec.per_item
+        lengths = np.empty(num_items, dtype=np.int64)
+        parts: list[np.ndarray] = []
+        for item in range(num_items):
+            # Clamp: an attribute type can never supply more distinct links
+            # than it has entities (the unclamped draw used to loop forever).
+            k = min(int(rng.integers(lo, hi + 1)), spec.count)
+            pool = same_factor.get(int(item_primary[item]), np.empty(0, np.int64))
+            if spec.informative and pool.size:
+                # 80% of links come from the item's primary factor.
+                n_primary = max(1, int(round(0.8 * k)))
+                chosen = list(
+                    rng.choice(pool, size=min(n_primary, pool.size), replace=False)
+                )
+                while len(chosen) < k:
+                    cand = int(rng.integers(0, spec.count))
+                    if cand not in chosen:
+                        chosen.append(cand)
+                sel = np.asarray(chosen[:k], dtype=np.int64)
+            else:
+                sel = rng.choice(spec.count, size=min(k, spec.count), replace=False)
+            sel = np.sort(sel)
+            lengths[item] = sel.size
+            parts.append(sel)
+        flat = (np.concatenate(parts) if parts else np.empty(0, np.int64))
+        links[spec.name] = (lengths, flat.astype(np.int64, copy=False))
+    return links
+
+
+def _sample_links_fast(
+    rng: np.random.Generator,
+    schema: ScenarioSchema,
+    num_items: int,
+    item_primary: np.ndarray,
+    attr_factors: dict[str, np.ndarray],
+    num_factors: int,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Batched attribute-link sampling (``fast=True`` stream).
+
+    Preserves the structure — links-per-item drawn from ``per_item``
+    (clamped to ``count``), ~80% of an informative type's links from the
+    item's primary factor, all links distinct per (item, type) — but draws
+    whole matrices at once instead of walking items.
+    """
+    links: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for spec in schema.attributes:
+        lo, hi = spec.per_item
+        k_max = min(hi, spec.count)
+        k = np.minimum(rng.integers(lo, hi + 1, size=num_items), spec.count)
+        cand = rng.integers(0, spec.count, size=(num_items, max(k_max, 1)))
+        if spec.informative:
+            pools = [
+                np.flatnonzero(attr_factors[spec.name] == f)
+                for f in range(num_factors)
+            ]
+            pool_sizes = np.asarray([p.size for p in pools], dtype=np.int64)
+            max_pool = int(pool_sizes.max())
+            if max_pool > 0:
+                pool_matrix = np.zeros((num_factors, max_pool), dtype=np.int64)
+                for f, p in enumerate(pools):
+                    pool_matrix[f, : p.size] = p
+                psz = pool_sizes[item_primary]
+                n_primary = np.minimum(
+                    np.minimum(np.maximum(1, np.round(0.8 * k).astype(np.int64)), k),
+                    psz,
+                )
+                idx = rng.integers(
+                    0, np.maximum(psz, 1)[:, None], size=cand.shape
+                )
+                primary_cand = pool_matrix[item_primary[:, None], idx]
+                col = np.arange(cand.shape[1])[None, :]
+                cand = np.where(col < n_primary[:, None], primary_cand, cand)
+        cand = _dedupe_rows(rng, cand, k, spec.count)
+        col = np.arange(cand.shape[1])[None, :]
+        active = col < k[:, None]
+        # Sort active entries first per row (inactive become >= count), then
+        # flatten row-major: exactly each item's sorted links, concatenated.
+        srt = np.sort(np.where(active, cand, spec.count + col), axis=1)
+        links[spec.name] = (k.astype(np.int64), srt[active].astype(np.int64))
+    return links
+
+
+# --------------------------------------------------------------------- #
+# Generator
+# --------------------------------------------------------------------- #
 def generate_dataset(
     schema: ScenarioSchema,
     num_users: int = 120,
@@ -100,6 +333,9 @@ def generate_dataset(
     user_latent: np.ndarray | None = None,
     explicit_ratings: bool = False,
     seed: int | np.random.Generator | None = None,
+    activity: str = "lognormal",
+    zipf_exponent: float = 2.5,
+    fast: bool = False,
 ) -> Dataset:
     """Generate a :class:`Dataset` with an aligned item knowledge graph.
 
@@ -112,8 +348,7 @@ def generate_dataset(
     num_factors:
         Number of latent taste factors.
     mean_interactions:
-        Mean per-user interaction count (log-normal across users); the main
-        sparsity knob.
+        Mean per-user interaction count; the main sparsity knob.
     kg_signal:
         In ``[0, 1]``; fraction of item-attribute links kept faithful to the
         preference-generating attributes (the rest are rewired randomly).
@@ -131,11 +366,29 @@ def generate_dataset(
         feedback channel SemRec-style methods weight by).
     seed:
         Reproducibility seed.
+    activity:
+        Per-user activity law: ``"lognormal"`` (legacy default) or
+        ``"zipf"`` — one batched Zipf draw rescaled to ``mean_interactions``
+        for a genuinely power-law long tail (``zipf_exponent`` must be
+        ``> 2`` so the mean exists).
+    fast:
+        ``False`` (default) consumes the RNG stream in the legacy loop
+        order — seeded output is bitwise-identical to the original
+        generator whenever ``num_users * num_items`` fits one score chunk.
+        ``True`` batches *every* draw (attribute links, rewiring): same
+        world structure and still deterministic per seed, but a different
+        stream — use it for large worlds, where it is orders of magnitude
+        faster.  The two modes are not cross-comparable draw-for-draw.
     """
     if not 0.0 <= kg_signal <= 1.0:
         raise ConfigError("kg_signal must be in [0, 1]")
     if num_users < 2 or num_items < 4:
         raise ConfigError("need at least 2 users and 4 items")
+    if activity not in ("lognormal", "zipf"):
+        raise ConfigError(f"unknown activity law: {activity!r}")
+    if activity == "zipf" and zipf_exponent <= 2.0:
+        raise ConfigError("zipf_exponent must be > 2 for a finite mean")
+    _validate_attribute_specs(schema)
     rng = ensure_rng(seed)
 
     # ---------------------------------------------------------------- #
@@ -156,82 +409,109 @@ def generate_dataset(
     # Bias assignments so an item's informative attributes agree on a factor,
     # keeping item latents peaked instead of washing out to the mean.
     item_primary = rng.integers(0, num_factors, size=num_items)
-    true_links: dict[str, list[np.ndarray]] = {s.name: [] for s in schema.attributes}
-    for spec in schema.attributes:
-        same_factor: dict[int, np.ndarray] = {
-            f: np.flatnonzero(attr_factors[spec.name] == f)
-            for f in range(num_factors)
-        }
-        lo, hi = spec.per_item
-        for item in range(num_items):
-            k = int(rng.integers(lo, hi + 1))
-            pool = same_factor.get(int(item_primary[item]), np.empty(0, np.int64))
-            if spec.informative and pool.size:
-                # 80% of links come from the item's primary factor.
-                n_primary = max(1, int(round(0.8 * k)))
-                chosen = list(
-                    rng.choice(pool, size=min(n_primary, pool.size), replace=False)
-                )
-                while len(chosen) < k:
-                    cand = int(rng.integers(0, spec.count))
-                    if cand not in chosen:
-                        chosen.append(cand)
-                links = np.asarray(chosen[:k], dtype=np.int64)
-            else:
-                links = rng.choice(spec.count, size=min(k, spec.count), replace=False)
-            true_links[spec.name].append(np.sort(links))
+    sample = _sample_links_fast if fast else _sample_links_exact
+    true_links = sample(
+        rng, schema, num_items, item_primary, attr_factors, num_factors
+    )
 
     # ---------------------------------------------------------------- #
     # 3. Item latents from informative attributes.
     # ---------------------------------------------------------------- #
-    item_latent = np.zeros((num_items, num_factors))
-    for item in range(num_items):
-        parts = [
-            attr_latents[spec.name][true_links[spec.name][item]]
-            for spec in schema.attributes
-            if spec.informative and true_links[spec.name][item].size
-        ]
-        signal = np.concatenate(parts).mean(axis=0)
-        item_latent[item] = signal + rng.normal(0.0, item_noise, num_factors)
+    # One bincount per factor reproduces the legacy per-item
+    # concatenate-and-mean bitwise: bincount accumulates strictly in input
+    # order, and the spec-major / item-major / sorted-link layout of the
+    # flat link arrays visits each item's rows in exactly the order the
+    # loop's np.concatenate did.
+    idx_parts = [
+        np.repeat(np.arange(num_items), true_links[s.name][0])
+        for s in schema.attributes
+        if s.informative
+    ]
+    row_parts = [
+        attr_latents[s.name][true_links[s.name][1]]
+        for s in schema.attributes
+        if s.informative
+    ]
+    link_items = np.concatenate(idx_parts)
+    link_rows = np.concatenate(row_parts)
+    counts = np.bincount(link_items, minlength=num_items)
+    if (counts == 0).any():
+        missing = int(np.flatnonzero(counts == 0)[0])
+        raise DataError(
+            f"item {missing} drew no informative attribute links; raise the "
+            "per_item minimum of an informative attribute type"
+        )
+    sums = np.empty((num_items, num_factors))
+    for f in range(num_factors):
+        sums[:, f] = np.bincount(
+            link_items, weights=link_rows[:, f], minlength=num_items
+        )
+    item_latent = sums / counts[:, None]
+    item_latent += rng.normal(0.0, item_noise, (num_items, num_factors))
 
     # ---------------------------------------------------------------- #
     # 4. User latents and interactions.
     # ---------------------------------------------------------------- #
     if user_latent is None:
-        user_latent = np.zeros((num_users, num_factors))
-        for user in range(num_users):
-            user_latent[user] = rng.dirichlet(np.full(num_factors, 0.4))
+        user_latent = rng.dirichlet(np.full(num_factors, 0.4), size=num_users)
     else:
         user_latent = np.asarray(user_latent, dtype=np.float64)
         if user_latent.shape != (num_users, num_factors):
             raise ConfigError("user_latent must be (num_users, num_factors)")
-    scores = user_latent @ item_latent.T
-    scores += rng.normal(0.0, score_noise, scores.shape)
 
-    sigma = 0.6
-    degrees = rng.lognormal(np.log(mean_interactions) - sigma**2 / 2, sigma, num_users)
-    degrees = np.clip(np.round(degrees), 2, num_items - 2).astype(np.int64)
+    chunked = num_users * num_items > _SCORE_CHUNK_ELEMENTS
+    scores: np.ndarray | None = None
+    if not chunked:
+        # Legacy draw order: score noise first, then the degree vector.
+        scores = user_latent @ item_latent.T
+        scores += rng.normal(0.0, score_noise, scores.shape)
+        degrees = _draw_degrees(
+            rng, activity, mean_interactions, num_users, num_items, zipf_exponent
+        )
+    else:
+        # Chunked: degrees must exist before per-chunk noise is drawn, so
+        # the stream diverges from legacy here (documented in the module
+        # docstring; no legacy artifact exists above the chunk threshold).
+        degrees = _draw_degrees(
+            rng, activity, mean_interactions, num_users, num_items, zipf_exponent
+        )
 
-    users_list: list[int] = []
-    items_list: list[int] = []
-    ratings_list: list[float] = []
-    for user in range(num_users):
-        k = int(degrees[user])
-        top = np.argpartition(-scores[user], k - 1)[:k]
-        users_list.extend([user] * k)
-        items_list.extend(int(v) for v in top)
-        if explicit_ratings:
-            # 1-5 stars from the user's own preference quintiles.
-            chosen = scores[user, top]
-            order = np.argsort(np.argsort(chosen))
-            stars = 1.0 + np.floor(5.0 * order / max(1, order.size))
-            ratings_list.extend(np.clip(stars, 1.0, 5.0))
+    offsets = np.zeros(num_users + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    total = int(offsets[-1])
+    users_arr = np.repeat(np.arange(num_users, dtype=np.int64), degrees)
+    items_arr = np.empty(total, dtype=np.int64)
+    ratings_arr = np.empty(total, dtype=np.float64) if explicit_ratings else None
+
+    chunk_rows = (
+        num_users if not chunked else max(1, _SCORE_CHUNK_ELEMENTS // num_items)
+    )
+    for a in range(0, num_users, chunk_rows):
+        b = min(a + chunk_rows, num_users)
+        if scores is not None:
+            sc = scores[a:b]
+        else:
+            sc = user_latent[a:b] @ item_latent.T
+            sc += rng.normal(0.0, score_noise, sc.shape)
+        deg = degrees[a:b]
+        neg = -sc
+        # Group users by degree: one argpartition per distinct k keeps every
+        # row's selection bit-equal to the legacy per-user call.
+        for k in np.unique(deg):
+            rows = np.flatnonzero(deg == k)
+            k = int(k)
+            top = np.argpartition(neg[rows], k - 1, axis=1)[:, :k]
+            pos = offsets[a + rows][:, None] + np.arange(k)
+            items_arr[pos] = top
+            if explicit_ratings:
+                # 1-5 stars from the user's own preference quintiles.
+                chosen = np.take_along_axis(sc[rows], top, axis=1)
+                order = np.argsort(np.argsort(chosen, axis=1), axis=1)
+                stars = 1.0 + np.floor(5.0 * order / k)
+                ratings_arr[pos] = np.clip(stars, 1.0, 5.0)
+
     interactions = InteractionMatrix(
-        np.asarray(users_list),
-        np.asarray(items_list),
-        num_users,
-        num_items,
-        ratings=np.asarray(ratings_list) if explicit_ratings else None,
+        users_arr, items_arr, num_users, num_items, ratings=ratings_arr
     )
 
     # ---------------------------------------------------------------- #
@@ -240,10 +520,10 @@ def generate_dataset(
     entity_labels = [f"{schema.item_type}:{i}" for i in range(num_items)]
     entity_types = [0] * num_items
     type_names = [schema.item_type] + [s.name for s in schema.attributes]
-    offsets: dict[str, int] = {}
+    offsets_by_type: dict[str, int] = {}
     cursor = num_items
     for type_id, spec in enumerate(schema.attributes, start=1):
-        offsets[spec.name] = cursor
+        offsets_by_type[spec.name] = cursor
         entity_labels.extend(f"{spec.name}:{a}" for a in range(spec.count))
         entity_types.extend([type_id] * spec.count)
         cursor += spec.count
@@ -256,31 +536,78 @@ def generate_dataset(
             relation_ids[rel] = len(relation_labels)
             relation_labels.append(rel)
 
-    triples: list[tuple[int, int, int]] = []
+    head_parts: list[np.ndarray] = []
+    rel_parts: list[np.ndarray] = []
+    tail_parts: list[np.ndarray] = []
+
+    def _emit(heads: np.ndarray, rel: int, tails: np.ndarray) -> None:
+        head_parts.append(heads.astype(np.int64, copy=False))
+        rel_parts.append(np.full(heads.size, rel, dtype=np.int64))
+        tail_parts.append(tails.astype(np.int64, copy=False))
+
     for spec in schema.attributes:
         rel = relation_ids[spec.relation]
-        for item in range(num_items):
-            for attr in true_links[spec.name][item]:
+        lengths, flat = true_links[spec.name]
+        base = offsets_by_type[spec.name]
+        if fast or kg_signal == 1.0:
+            # Batched fidelity draw.  At kg_signal == 1.0 this is the exact
+            # legacy stream: the per-link rng.random() calls happen (as one
+            # block) and the rewire branch never fires, so no integers draw
+            # interleaves.  Below 1.0 the batched mask+integers order only
+            # runs in fast mode.
+            u = rng.random(flat.size)
+            published = flat.copy()
+            if kg_signal < 1.0:
+                mask = u > kg_signal
+                published[mask] = rng.integers(0, spec.count, int(mask.sum()))
+            _emit(np.repeat(np.arange(num_items), lengths), rel, base + published)
+        else:
+            # Exact mode with rewiring: the conditional integers draw
+            # interleaves with the random draw per link, so the stream
+            # forces a loop.
+            item_of_link = np.repeat(np.arange(num_items), lengths)
+            published_list: list[int] = []
+            for attr in flat:
                 published = int(attr)
                 if rng.random() > kg_signal:
                     published = int(rng.integers(0, spec.count))
-                triples.append((item, rel, offsets[spec.name] + published))
+                published_list.append(published)
+            _emit(
+                item_of_link, rel,
+                base + np.asarray(published_list, dtype=np.int64),
+            )
 
     for src_name, rel_label, dst_name, per_src in schema.attribute_links:
         rel = relation_ids[rel_label]
         src_spec = next(s for s in schema.attributes if s.name == src_name)
         dst_spec = next(s for s in schema.attributes if s.name == dst_name)
-        for src in range(src_spec.count):
-            targets = rng.choice(
-                dst_spec.count, size=min(per_src, dst_spec.count), replace=False
+        k = min(per_src, dst_spec.count)
+        if fast:
+            cand = rng.integers(0, dst_spec.count, size=(src_spec.count, max(k, 1)))
+            cand = _dedupe_rows(
+                rng, cand, np.full(src_spec.count, k, dtype=np.int64),
+                dst_spec.count,
+            )[:, :k]
+            srcs = np.repeat(np.arange(src_spec.count), k)
+            _emit(
+                offsets_by_type[src_name] + srcs, rel,
+                offsets_by_type[dst_name] + cand.ravel(),
             )
-            for dst in targets:
-                triples.append(
-                    (offsets[src_name] + src, rel, offsets[dst_name] + int(dst))
+        else:
+            for src in range(src_spec.count):
+                targets = rng.choice(dst_spec.count, size=k, replace=False)
+                _emit(
+                    offsets_by_type[src_name] + np.full(k, src, dtype=np.int64),
+                    rel,
+                    offsets_by_type[dst_name] + targets,
                 )
 
-    store = TripleStore.from_triples(
-        triples, num_entities=num_entities, num_relations=len(relation_labels)
+    store = TripleStore(
+        np.concatenate(head_parts) if head_parts else np.empty(0, np.int64),
+        np.concatenate(rel_parts) if rel_parts else np.empty(0, np.int64),
+        np.concatenate(tail_parts) if tail_parts else np.empty(0, np.int64),
+        num_entities=num_entities,
+        num_relations=len(relation_labels),
     )
     kg = KnowledgeGraph(
         store,

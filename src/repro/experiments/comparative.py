@@ -55,7 +55,12 @@ def _movie(seed: int = 0, **overrides):
 # ---------------------------------------------------------------------- #
 # E1 — embedding-based methods vs pure CF
 # ---------------------------------------------------------------------- #
-def study_embedding_methods(seed: int = 0, epochs: int = 25):
+def study_embedding_methods(
+    seed: int = 0,
+    epochs: int = 25,
+    executor: str = "sequential",
+    max_workers: int | None = None,
+):
     """CF baselines vs embedding-based KG methods on the movie scenario."""
     dataset = _movie(seed=seed)
     factories = {
@@ -68,7 +73,9 @@ def study_embedding_methods(seed: int = 0, epochs: int = 25):
         "KTUP": lambda: KTUP(epochs=epochs, seed=seed),
         "RCF": lambda: RCF(epochs=epochs, seed=seed),
     }
-    return run_panel(dataset, factories, seed=seed)
+    return run_panel(
+        dataset, factories, seed=seed, executor=executor, max_workers=max_workers
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -78,6 +85,8 @@ def study_kg_signal_sweep(
     seed: int = 0,
     signals: tuple[float, ...] = (1.0, 0.5, 0.0),
     epochs: int = 25,
+    executor: str = "sequential",
+    max_workers: int | None = None,
 ):
     """KG-aware vs CF as the published KG's fidelity degrades."""
     rows = []
@@ -91,6 +100,8 @@ def study_kg_signal_sweep(
                 "RCF": lambda: RCF(epochs=epochs, seed=seed),
             },
             seed=seed,
+            executor=executor,
+            max_workers=max_workers,
         )
         for r in results:
             rows.append(
@@ -103,7 +114,12 @@ def study_kg_signal_sweep(
 # ---------------------------------------------------------------------- #
 # E2 — path-based methods
 # ---------------------------------------------------------------------- #
-def study_path_methods(seed: int = 0, epochs: int = 8):
+def study_path_methods(
+    seed: int = 0,
+    epochs: int = 8,
+    executor: str = "sequential",
+    max_workers: int | None = None,
+):
     dataset = _movie(seed=seed)
     factories = {
         "MostPopular": lambda: MostPopular(),
@@ -114,7 +130,9 @@ def study_path_methods(seed: int = 0, epochs: int = 8):
         "KPRN": lambda: KPRN(epochs=epochs, seed=seed),
         "PGPR": lambda: PGPR(epochs=6, seed=seed),
     }
-    return run_panel(dataset, factories, seed=seed)
+    return run_panel(
+        dataset, factories, seed=seed, executor=executor, max_workers=max_workers
+    )
 
 
 def study_metapath_count(seed: int = 0, counts: tuple[int, ...] = (1, 2, 4)):
@@ -137,7 +155,12 @@ def study_metapath_count(seed: int = 0, counts: tuple[int, ...] = (1, 2, 4)):
 # ---------------------------------------------------------------------- #
 # E3 — unified methods and the hop-depth ablation
 # ---------------------------------------------------------------------- #
-def study_unified_methods(seed: int = 0, epochs: int = 20):
+def study_unified_methods(
+    seed: int = 0,
+    epochs: int = 20,
+    executor: str = "sequential",
+    max_workers: int | None = None,
+):
     dataset = _movie(seed=seed)
     factories = {
         "BPR-MF": lambda: BPRMF(epochs=25, seed=seed),
@@ -148,10 +171,17 @@ def study_unified_methods(seed: int = 0, epochs: int = 20):
         "KGAT": lambda: KGAT(epochs=10, seed=seed),
         "AKUPM": lambda: AKUPM(epochs=epochs, seed=seed),
     }
-    return run_panel(dataset, factories, seed=seed)
+    return run_panel(
+        dataset, factories, seed=seed, executor=executor, max_workers=max_workers
+    )
 
 
-def study_hop_depth(seed: int = 0, hops: tuple[int, ...] = (1, 2, 3)):
+def study_hop_depth(
+    seed: int = 0,
+    hops: tuple[int, ...] = (1, 2, 3),
+    executor: str = "sequential",
+    max_workers: int | None = None,
+):
     """RippleNet/KGCN ripple-hop sweep (propagation depth ablation)."""
     dataset = _movie(seed=seed)
     rows = []
@@ -167,6 +197,8 @@ def study_hop_depth(seed: int = 0, hops: tuple[int, ...] = (1, 2, 3)):
                 ),
             },
             seed=seed,
+            executor=executor,
+            max_workers=max_workers,
         )
         for r in results:
             rows.append({"hops": h, "model": r.model, "AUC": r["AUC"]})
@@ -240,6 +272,8 @@ def study_kge_downstream(
     seed: int = 0,
     kge_models: tuple[str, ...] = ("TransE", "TransR", "DistMult"),
     epochs: int = 25,
+    executor: str = "sequential",
+    max_workers: int | None = None,
 ):
     """Downstream effect of the KGE choice: CKE and CFKG per KGE model.
 
@@ -251,13 +285,20 @@ def study_kge_downstream(
     for name in kge_models:
         factories[f"CKE[{name}]"] = lambda n=name: CKE(kge=n, epochs=epochs, seed=seed)
         factories[f"CFKG[{name}]"] = lambda n=name: CFKG(kge=n, epochs=epochs, seed=seed)
-    return run_panel(dataset, factories, seed=seed)
+    return run_panel(
+        dataset, factories, seed=seed, executor=executor, max_workers=max_workers
+    )
 
 
 # ---------------------------------------------------------------------- #
 # E6 — aggregator ablation (Eq. 30-33)
 # ---------------------------------------------------------------------- #
-def study_aggregators(seed: int = 0, epochs: int = 20):
+def study_aggregators(
+    seed: int = 0,
+    epochs: int = 20,
+    executor: str = "sequential",
+    max_workers: int | None = None,
+):
     dataset = _movie(seed=seed)
     factories = {
         f"KGCN[{agg}]": (
@@ -265,7 +306,9 @@ def study_aggregators(seed: int = 0, epochs: int = 20):
         )
         for agg in ("sum", "concat", "neighbor", "bi-interaction")
     }
-    return run_panel(dataset, factories, seed=seed)
+    return run_panel(
+        dataset, factories, seed=seed, executor=executor, max_workers=max_workers
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -297,6 +340,8 @@ def study_multitask(
     weights: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0),
     epochs: int = 25,
     num_seeds: int = 3,
+    executor: str = "sequential",
+    max_workers: int | None = None,
 ):
     """KTUP/MKR joint-training weight lambda (Eq. 9) sweep.
 
@@ -316,6 +361,8 @@ def study_multitask(
                     "MKR": lambda w=lam, ss=s: MKR(kg_weight=w, epochs=epochs, seed=ss),
                 },
                 seed=s,
+                executor=executor,
+                max_workers=max_workers,
             )
             for r in results:
                 sums[r.model] += r["AUC"]

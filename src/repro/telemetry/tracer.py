@@ -172,6 +172,57 @@ class Tracer:
         return record
 
     # ------------------------------------------------------------------ #
+    def adopt(
+        self,
+        records: list[SpanRecord],
+        parent_id: int | None = None,
+        shift: float = 0.0,
+    ) -> dict[int, int]:
+        """Merge finished spans from *another* tracer into this buffer.
+
+        The process-pool panel runner uses this to fold each worker's trace
+        back into the parent: every record gets a fresh id from this
+        tracer's sequence (so ids stay unique within one capture), internal
+        parent references are remapped through the same table, and records
+        whose parent is ``None`` — or missing from the batch, e.g. dropped
+        in the child — are re-rooted under ``parent_id``.  ``shift`` is
+        added to every start/end so a worker's monotonic clock (which has
+        an arbitrary origin in the child process) can be re-based onto the
+        parent's timeline.  Records are appended in their given order, so a
+        child buffer in end order keeps the children-before-parents
+        invariant; returns the ``{old_id: new_id}`` map (callers use it to
+        fix up cross-references such as ``FailureRecord.span_id``).
+        """
+        records = list(records)
+        idmap: dict[int, int] = {}
+        with self._lock:
+            for r in records:
+                idmap[r.span_id] = self._next_id
+                self._next_id += 1
+        remapped = [
+            SpanRecord(
+                span_id=idmap[r.span_id],
+                parent_id=(
+                    idmap.get(r.parent_id, parent_id)
+                    if r.parent_id is not None
+                    else parent_id
+                ),
+                name=r.name,
+                start=r.start + shift,
+                end=r.end + shift,
+                attrs=r.attrs,
+            )
+            for r in records
+        ]
+        with self._lock:
+            for record in remapped:
+                self._records.append(record)
+                if len(self._records) > self.max_spans:
+                    self._records.popleft()
+                    self.dropped += 1
+        return idmap
+
+    # ------------------------------------------------------------------ #
     def records(self) -> list[SpanRecord]:
         """Finished spans in end order (children before their parents)."""
         with self._lock:
