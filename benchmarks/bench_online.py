@@ -1,0 +1,176 @@
+"""Online learning loop benchmark: freshness uplift + promote latency.
+
+Measures the two numbers the online subsystem exists for (see
+``docs/online.md``):
+
+* **freshness** — top-k recovery of newly-introduced users' applied
+  interactions, served by the continuously-deployed model vs a baseline
+  frozen at the bootstrap generation.  Fully deterministic per seed (the
+  replay runs on a manual clock).
+* **promote latency** — wall-clock seconds from "commit the dirty rows"
+  to "candidate is live" (store commit + pinned serve-mode open + ANN
+  index sync + canary probe + watch), reported as p50/p99 across every
+  promotion cycle of every seed.
+
+Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_online.py           # full run
+    PYTHONPATH=src python benchmarks/bench_online.py --smoke   # CI smoke
+
+The full run writes machine-readable results to ``--out`` (default
+``benchmarks/BENCH_online.json``).  ``--smoke`` runs one small replay
+and asserts the invariants (bitwise old-or-new serving, positive
+freshness uplift) without recording timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.online.harness import (
+    ChurnConfig,
+    build_world,
+    freshness_report,
+    run_churn_cell,
+)
+from repro.runtime.faults import FaultPlan
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_online.json"
+
+
+def bench_seed(workdir: Path, seed: int, config: ChurnConfig) -> dict:
+    """One fault-free replay: freshness + per-cycle promote wall times."""
+    world = build_world(workdir, seed, plan=FaultPlan(), config=config)
+    world.loop.run(config.num_batches)
+    fresh = freshness_report(world)
+    promoted = sum(1 for c in world.loop.cycles if c.outcome == "promoted")
+    out = {
+        "seed": seed,
+        "batches": len(world.loop.batch_outcomes),
+        "promotions": promoted,
+        "newcomer_users": fresh["newcomer_users"],
+        "new_items": fresh["new_items"],
+        "hit_rate_online": fresh["hit_rate_online"],
+        "hit_rate_frozen": fresh["hit_rate_frozen"],
+        "freshness_uplift": fresh["freshness_uplift"],
+        "promote_wall_times_s": list(world.loop.promote_wall_times),
+    }
+    world.loop.close()
+    return out
+
+
+def percentiles(samples: list[float]) -> dict:
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p99_ms": float(np.percentile(arr, 99) * 1e3),
+        "mean_ms": float(arr.mean() * 1e3),
+    }
+
+
+def run_full(args) -> dict:
+    config = ChurnConfig(num_batches=args.batches)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-online-") as tmp:
+        for seed in args.seeds:
+            rows.append(bench_seed(Path(tmp) / f"seed{seed}", seed, config))
+            r = rows[-1]
+            lat = percentiles(r["promote_wall_times_s"])
+            print(
+                f"seed {seed}: {r['promotions']} promotions over "
+                f"{r['batches']} batches, freshness "
+                f"online={r['hit_rate_online']:.3f} "
+                f"frozen={r['hit_rate_frozen']:.3f} "
+                f"(uplift {r['freshness_uplift']:+.3f}), promote "
+                f"p50 {lat['p50_ms']:.1f} ms / p99 {lat['p99_ms']:.1f} ms"
+            )
+    all_times = [t for r in rows for t in r["promote_wall_times_s"]]
+    uplifts = [r["freshness_uplift"] for r in rows]
+    result = {
+        "config": {
+            "num_batches": config.num_batches,
+            "commit_every": config.commit_every,
+            "model_dim": config.model_dim,
+            "stream": {
+                "num_users": config.stream.num_users,
+                "num_items": config.stream.num_items,
+                "warm_users": config.stream.warm_users,
+                "warm_items": config.stream.warm_items,
+                "session_size": config.stream.session_size,
+                "newcomer_rate": config.stream.newcomer_rate,
+                "new_item_rate": config.stream.new_item_rate,
+            },
+            "seeds": list(args.seeds),
+        },
+        "freshness": {
+            "hit_rate_online_mean": float(
+                np.mean([r["hit_rate_online"] for r in rows])
+            ),
+            "hit_rate_frozen_mean": float(
+                np.mean([r["hit_rate_frozen"] for r in rows])
+            ),
+            "uplift_mean": float(np.mean(uplifts)),
+            "uplift_min": float(np.min(uplifts)),
+        },
+        "promote_latency": percentiles(all_times),
+        "per_seed": [
+            {k: v for k, v in r.items() if k != "promote_wall_times_s"}
+            for r in rows
+        ],
+    }
+    mean_lat = result["promote_latency"]
+    print(
+        f"\noverall: freshness uplift mean "
+        f"{result['freshness']['uplift_mean']:+.3f} "
+        f"(min {result['freshness']['uplift_min']:+.3f}), promote latency "
+        f"p50 {mean_lat['p50_ms']:.1f} ms / p99 {mean_lat['p99_ms']:.1f} ms "
+        f"across {len(all_times)} promotions"
+    )
+    return result
+
+
+def run_smoke(args) -> None:
+    """Assert the loop's contracts once, with no timing sensitivity."""
+    config = ChurnConfig(num_batches=40)
+    with tempfile.TemporaryDirectory(prefix="bench-online-smoke-") as tmp:
+        cell = run_churn_cell(Path(tmp) / "none", 0, "none", config)
+        assert cell.ok, f"churn cell failed: {cell.describe()}"
+        row = bench_seed(Path(tmp) / "fresh", 0, config)
+        assert row["promotions"] >= 2, "smoke replay promoted too few times"
+        assert row["freshness_uplift"] > 0, (
+            "online freshness did not beat the frozen baseline: "
+            f"{row['hit_rate_online']:.3f} vs {row['hit_rate_frozen']:.3f}"
+        )
+    print(
+        "online bench smoke OK: bitwise old-or-new held, "
+        f"{row['promotions']} promotions, freshness uplift "
+        f"{row['freshness_uplift']:+.3f}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=60)
+    parser.add_argument(
+        "--seeds", type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=(0, 1, 2, 3, 4),
+    )
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--smoke", action="store_true")
+    args = parser.parse_args()
+    if args.smoke:
+        run_smoke(args)
+        return
+    result = run_full(args)
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"results written to {out}")
+
+
+if __name__ == "__main__":
+    main()

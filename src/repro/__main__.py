@@ -10,6 +10,7 @@ Usage::
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
     python -m repro retrieval-demo     # ANN rung: staleness + index-synced promote
+    python -m repro online-demo        # continuous deployment under churn + faults
     python -m repro trace-report f.jsonl   # render a --trace-out capture
     python -m repro store-verify DIR   # fsck an embedding store (--repair)
     python -m repro durability-smoke   # crash-matrix sweep (CI mode)
@@ -157,6 +158,15 @@ def _cmd_retrieval_demo(args) -> str:
     return run_demo(seed=args.seed, num_requests=args.requests)
 
 
+def _cmd_online_demo(args) -> str:
+    from repro.online.demo import run_demo, run_smoke
+
+    if args.smoke:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+        return run_smoke(seeds=seeds)
+    return run_demo(seed=args.seed, num_batches=args.batches)
+
+
 def _cmd_trace_report(args) -> str:
     from repro.telemetry import check_trace, trace_report
 
@@ -285,6 +295,24 @@ def main(argv: list[str] | None = None) -> int:
     p_retr.add_argument("--seed", type=int, default=0)
     p_retr.add_argument("--requests", type=int, default=150)
 
+    p_online = sub.add_parser(
+        "online-demo",
+        help="online learning loop: seeded interaction stream with churn, "
+        "shadow-trained store commits, canary promotions, rollback, and "
+        "crash recovery",
+    )
+    p_online.add_argument("--seed", type=int, default=0)
+    p_online.add_argument("--batches", type=int, default=60)
+    p_online.add_argument(
+        "--smoke", action="store_true",
+        help="run the full stream x fault churn matrix and assert bitwise "
+        "old-or-new serving, quarantine, and rollback invariants (CI mode)",
+    )
+    p_online.add_argument(
+        "--seeds", default="0,1,2",
+        help="comma-separated seed matrix for --smoke",
+    )
+
     p_trace = sub.add_parser(
         "trace-report",
         help="render a --trace-out JSONL capture: span tree, hotspots, outcomes",
@@ -347,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_serve_demo(args))
     elif args.command == "retrieval-demo":
         print(_cmd_retrieval_demo(args))
+    elif args.command == "online-demo":
+        print(_cmd_online_demo(args))
     elif args.command == "trace-report":
         print(_cmd_trace_report(args))
     elif args.command == "store-verify":

@@ -63,6 +63,22 @@ class IndexStaleError(RetrievalError):
     """
 
 
+class OnlineError(KgrecError):
+    """Base class for errors raised by the online learning loop."""
+
+
+class OnlineUpdateError(OnlineError):
+    """An online interaction batch failed validation and was quarantined.
+
+    Raised by the shadow trainer when a batch carries non-finite weights
+    or out-of-range ids (e.g. a poisoned upstream event feed).  The loop
+    records the batch as *quarantined* — a typed outcome with the reason
+    attached — and skips it; it is never silently dropped, and a bounded
+    run of consecutive quarantines aborts the loop with
+    :class:`OnlineError` instead of training on garbage forever.
+    """
+
+
 class ServingError(KgrecError):
     """Base class for errors raised at the online serving boundary."""
 

@@ -1,0 +1,153 @@
+"""Narrated online-learning chaos demo (``python -m repro online-demo``).
+
+One replay tells the whole story: a seeded interaction stream with
+cold-start churn flows through the shadow trainer; promotions commit,
+canary-validate, and hot-swap; planned faults exercise quarantine,
+rejection, rollback, and crash recovery.  ``--smoke`` runs the full
+churn matrix of :mod:`repro.online.harness` across several seeds and
+asserts every contract — the CI ``online-smoke`` job runs exactly that.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime.faults import Fault, FaultPlan, InjectedCrash
+from repro.store.mmap import MmapShardStore
+from repro.online.harness import (
+    ChurnConfig,
+    build_world,
+    freshness_report,
+    run_smoke as harness_smoke,
+)
+from repro.online.trainer import ENTITY_TABLE
+
+__all__ = ["run_demo", "run_smoke"]
+
+
+def _mixed_plan(config: ChurnConfig) -> FaultPlan:
+    """One of every non-crashing fault kind, spread across the replay.
+
+    The quarantined batch at ``ce + 1`` shifts every later commit cycle
+    one step right (cycles fire on *applied*-batch cadence), so the
+    promotion-shaped faults land on ``k * ce`` instead of ``k * ce - 1``.
+    """
+    ce = config.commit_every
+    return FaultPlan(
+        [
+            Fault(step=ce + 1, kind="poison_batch"),
+            Fault(step=ce + 3, kind="trainer_stall", seconds=0.05),
+            Fault(step=3 * ce, kind="sync_fail"),
+            Fault(step=4 * ce, kind="canary_regress"),
+            Fault(step=5 * ce, kind="late_regress"),
+        ]
+    )
+
+
+def run_demo(
+    seed: int = 0,
+    num_batches: int = 60,
+    workdir: str | Path | None = None,
+) -> str:
+    """A full narrated replay; returns the report text."""
+    config = ChurnConfig(num_batches=num_batches)
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-online-demo-")
+        workdir = tmp.name
+    workdir = Path(workdir)
+    lines = [
+        "online learning loop demo",
+        "=" * 25,
+        f"seed={seed} batches={num_batches} commit_every={config.commit_every}",
+        "",
+    ]
+    try:
+        world = build_world(
+            workdir / "main", seed, plan=_mixed_plan(config), config=config
+        )
+        world.loop.run(num_batches)
+        loop = world.loop
+
+        applied = sum(1 for b in loop.batch_outcomes if b.status == "applied")
+        quarantined = [
+            b for b in loop.batch_outcomes if b.status == "quarantined"
+        ]
+        lines.append(
+            f"stream: {len(loop.batch_outcomes)} batches "
+            f"({applied} applied, {len(quarantined)} quarantined), "
+            f"{len(world.stream.introduced_users)} newcomer users, "
+            f"{len(world.stream.introduced_items)} new items"
+        )
+        for b in quarantined:
+            lines.append(f"  quarantined {b.trace()}")
+
+        lines.append("")
+        lines.append("promotion cycles:")
+        for c in loop.cycles:
+            lines.append(f"  {c.trace()}")
+
+        lines.append("")
+        lines.append("registry history:")
+        for record in world.service.registry.history:
+            lines.append(f"  {record.describe()}")
+
+        fresh = freshness_report(world)
+        lines.append("")
+        lines.append(
+            f"freshness (top-{fresh['k']} recovery of applied interactions, "
+            f"{fresh['newcomer_users']} newcomers): "
+            f"online={fresh['hit_rate_online']:.3f} "
+            f"frozen@gen{fresh['frozen_generation']}="
+            f"{fresh['hit_rate_frozen']:.3f} "
+            f"uplift={fresh['freshness_uplift']:+.3f}"
+        )
+        lines.append(
+            f"new-item exposure: online="
+            f"{fresh['new_item_exposure_online']:.3f} "
+            f"frozen={fresh['new_item_exposure_frozen']:.3f}"
+        )
+        world.loop.close()
+
+        # Crash episode: a commit dies between shard writes and the
+        # manifest rename; reopening recovers the previous generation.
+        crash_plan = FaultPlan(
+            [Fault(step=2 * config.commit_every - 1, kind="commit_crash")]
+        )
+        crash_world = build_world(
+            workdir / "crash", seed, plan=crash_plan, config=config
+        )
+        lines.append("")
+        lines.append("crash episode (commit_crash at the second cycle):")
+        try:
+            crash_world.loop.run(num_batches)
+            lines.append("  BUG: planned crash never fired")
+        except InjectedCrash as exc:
+            crash_world.loop.close()
+            committed = dict(crash_world.loop.committed)
+            store = MmapShardStore.open(crash_world.store_dir, mode="serve")
+            recovered = store.generation
+            blob = np.ascontiguousarray(
+                store.table(ENTITY_TABLE).to_array(), dtype="<f4"
+            ).tobytes()
+            store.close()
+            bitwise = blob == committed.get(recovered)
+            lines.append(f"  {type(exc).__name__}: {exc}")
+            lines.append(
+                f"  recovered generation {recovered} "
+                f"(committed: {sorted(committed)}), "
+                f"bitwise match: {bitwise}"
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return "\n".join(lines)
+
+
+def run_smoke(seeds: tuple[int, ...] = (0, 1, 2, 3, 4)) -> str:
+    """The CI entry point: churn matrix + determinism + freshness."""
+    with tempfile.TemporaryDirectory(prefix="repro-online-smoke-") as tmp:
+        return harness_smoke(tmp, seeds=seeds)

@@ -54,6 +54,26 @@ IO faults are applied by :class:`repro.store.io.FaultingStoreIO`, which
 wraps these kinds around the store's write hooks; the crash-matrix
 harness (:mod:`repro.store.harness`) sweeps them across every IO op of a
 train→checkpoint→promote scenario.
+
+The online learning loop (:mod:`repro.online`) adds *churn-shaped* faults,
+where ``step`` is the global interaction-batch index of the stream:
+
+* ``"poison_batch"`` — the arriving interaction batch is corrupted (NaN
+  weights, negated item ids), as a broken upstream event feed would
+  deliver; the shadow trainer must quarantine it with a typed
+  :class:`~repro.core.exceptions.OnlineUpdateError`, never train on it,
+* ``"trainer_stall"`` — the shadow trainer stalls for ``Fault.seconds``
+  before applying the batch (exercises freshness under a lagging trainer),
+* ``"commit_crash"`` — the process dies between the shadow store's shard
+  commit and the manifest rename (the loop arms the store IO's
+  manifest-crash hook; recovery must land on the previous generation),
+* ``"sync_fail"`` — ``sync_index`` raises mid-promotion, so the candidate
+  is rejected with the previous live model untouched,
+* ``"canary_regress"`` — the candidate scores NaN on the canary probe and
+  the promotion is rejected,
+* ``"late_regress"`` — the candidate passes its canary but regresses
+  immediately after the swap; the loop's post-promotion watch must detect
+  the degradation and roll the live model back.
 """
 
 from __future__ import annotations
@@ -73,6 +93,8 @@ __all__ = [
     "TRAINING_FAULT_KINDS",
     "SERVING_FAULT_KINDS",
     "IO_FAULT_KINDS",
+    "ONLINE_FAULT_KINDS",
+    "PROMOTION_FAULT_KINDS",
     "Fault",
     "FaultPlan",
     "FaultInjector",
@@ -94,8 +116,25 @@ IO_FAULT_KINDS: tuple[str, ...] = (
     "crash_after_rename",
     "fsync_fail",
 )
+ONLINE_FAULT_KINDS: tuple[str, ...] = (
+    "poison_batch",
+    "trainer_stall",
+    "commit_crash",
+    "sync_fail",
+    "canary_regress",
+    "late_regress",
+)
+#: The subset of online kinds that fire at a commit/promote cycle rather
+#: than at batch arrival (the loop consults these once per cycle).
+PROMOTION_FAULT_KINDS: tuple[str, ...] = (
+    "commit_crash",
+    "sync_fail",
+    "canary_regress",
+    "late_regress",
+)
 FAULT_KINDS: tuple[str, ...] = (
     TRAINING_FAULT_KINDS + SERVING_FAULT_KINDS + IO_FAULT_KINDS
+    + ONLINE_FAULT_KINDS
 )
 
 
@@ -250,3 +289,45 @@ class FaultInjector:
                 scores = np.asarray(scores, dtype=np.float64).copy()
                 scores[...] = np.nan
         return scores
+
+    # ------------------------------------------------------------------ #
+    # online-loop hooks (step = global interaction-batch index)
+    # ------------------------------------------------------------------ #
+    def on_online_batch(self, step: int) -> None:
+        """Fire any ``trainer_stall`` fault planned for batch ``step``."""
+        for fault in self.plan.at(step):
+            if fault.kind == "trainer_stall":
+                self.injected.append(fault)
+                self.sleep(fault.seconds)
+
+    def corrupt_interactions(
+        self, step: int, users: np.ndarray, items: np.ndarray,
+        weights: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply any ``poison_batch`` fault planned for batch ``step``.
+
+        The corruption is the shape a broken upstream feed produces: every
+        weight becomes NaN and the item ids are negated — both violations
+        the shadow trainer's batch validation must catch and quarantine.
+        """
+        for fault in self.plan.at(step):
+            if fault.kind == "poison_batch":
+                self.injected.append(fault)
+                weights = np.full(np.asarray(weights).shape, np.nan)
+                items = -(np.asarray(items, dtype=np.int64) + 1)
+        return users, items, weights
+
+    def promotion_faults(self, step: int) -> list["Fault"]:
+        """Promotion-cycle faults planned for batch ``step`` (recorded).
+
+        The *semantics* live in :mod:`repro.online.loop`, which arms the
+        store IO's manifest-crash hook (``commit_crash``) or wraps the
+        candidate model (``sync_fail`` / ``canary_regress`` /
+        ``late_regress``); this method only selects and records them,
+        keeping the plan/injector machinery the single source of truth.
+        """
+        faults = [
+            f for f in self.plan.at(step) if f.kind in PROMOTION_FAULT_KINDS
+        ]
+        self.injected.extend(faults)
+        return faults

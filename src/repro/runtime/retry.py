@@ -91,7 +91,24 @@ class Attempt:
             spent = self.policy.clock() - self._loop_start
             if spent + self._delay_after > self.policy.total_budget:
                 return False
+        before = self.policy.clock()
         self.policy.sleep(self._delay_after)
+        if (
+            self.policy.total_budget is not None
+            and self._delay_after > 0
+            and self.policy.clock() <= before
+        ):
+            # A manual clock whose ``sleep`` does not advance it makes
+            # every budget check read the same elapsed time: the budget
+            # can never trip and a budget-driven loop (the online
+            # trainer's commit retry) would spin forever.  Surface the
+            # mis-wiring as configuration, not an infinite loop.
+            raise ConfigError(
+                f"retry backoff slept {self._delay_after:.6f}s but the "
+                "clock did not advance; total_budget needs sleep and "
+                "clock wired to the same time source (pass "
+                "sleep=clock.advance for a ManualClock)"
+            )
         return True  # swallow and let the loop retry
 
 
@@ -122,7 +139,12 @@ class RetryPolicy:
         time already spent plus the pending sleep would exceed the budget,
         the policy gives up and the last error propagates.  This bounds
         the worst-case latency of a retried operation (per-request SLO),
-        which the per-attempt ``deadline`` alone cannot.
+        which the per-attempt ``deadline`` alone cannot.  A budget only
+        works when sleeping moves the clock: construction rejects
+        ``base_delay=0`` budgets, and a backoff sleep that does not
+        advance the injected clock (a mis-wired :class:`ManualClock`)
+        raises :class:`ConfigError` instead of spinning the loop with a
+        budget that can never trip.
     retry_on:
         Exception class(es) considered transient; everything else
         propagates immediately.
@@ -157,6 +179,12 @@ class RetryPolicy:
             raise ConfigError("deadline must be positive")
         if total_budget is not None and total_budget <= 0:
             raise ConfigError("total_budget must be positive")
+        if total_budget is not None and base_delay == 0 and max_attempts > 1:
+            raise ConfigError(
+                "total_budget with base_delay=0 can never be consumed by "
+                "backoff sleeps; give the policy a positive base_delay "
+                "(or drop the budget and rely on max_attempts)"
+            )
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.multiplier = multiplier

@@ -34,13 +34,23 @@ __all__ = ["PromotionRecord", "ModelRegistry"]
 
 @dataclass(frozen=True)
 class PromotionRecord:
-    """Outcome of one promotion attempt.
+    """Outcome of one promotion attempt (or a recorded rollback).
 
     ``canary_seed`` records how the canary batch was drawn (``None`` =
     the deterministic lowest-id prefix); ``generation`` records the
     embedding-store generation the candidate serves from, when it serves
     from one — so an audit can tie a promotion to the exact on-disk
     manifest it made live.
+
+    ``rejection`` is the *structured* cause when the attempt did not
+    stick: ``"index_sync:<ExcType>"`` for a ``sync_index`` failure (e.g.
+    ``index_sync:IndexStaleError``), ``"canary"`` for a failed canary
+    probe (the per-user :class:`ScoreReport` details ride in
+    ``reports``/``reason``), and ``"rollback:<cause>"`` on the record a
+    :meth:`ModelRegistry.rollback` leaves behind (``kind="rollback"``).
+    The same value is attached as ``reason`` on the ``serve/promote`` /
+    ``serve/rollback`` telemetry spans, so ``trace-report`` outcome
+    tallies break rejected promotions down by cause.
     """
 
     at: float
@@ -51,12 +61,23 @@ class PromotionRecord:
     reports: tuple[ScoreReport, ...] = field(default=())
     canary_seed: int | None = None
     generation: int | None = None
+    kind: str = "promote"
+    rejection: str | None = None
 
     def describe(self) -> str:
+        if self.kind == "rollback":
+            out = f"t={self.at:.3f} {self.name!r} ROLLED BACK"
+            if self.rejection:
+                out += f" [{self.rejection}]"
+            if self.reason:
+                out += f": {self.reason}"
+            return out
         verdict = "promoted" if self.promoted else "REJECTED"
         out = f"t={self.at:.3f} {self.name!r} {verdict}"
         if self.generation is not None:
             out += f" (store generation {self.generation})"
+        if self.rejection:
+            out += f" [{self.rejection}]"
         if self.reason:
             out += f": {self.reason}"
         return out
@@ -178,14 +199,17 @@ class ModelRegistry:
                 sync()
             except Exception as exc:  # noqa: BLE001 - rebuild failure = rejection
                 reason = f"index sync failed: {type(exc).__name__}: {exc}"
+                rejection = f"index_sync:{type(exc).__name__}"
                 record = PromotionRecord(
                     at=self.clock(), name=name, promoted=False,
                     canary_users=canary, reason=reason,
                     canary_seed=canary_seed, generation=generation,
+                    rejection=rejection,
                 )
                 self.history.append(record)
                 if span is not None:
-                    tel.end(span, outcome="rejected", error=type(exc).__name__)
+                    tel.end(span, outcome="rejected", reason=rejection,
+                            error=type(exc).__name__)
                 raise PromotionError(f"candidate {name!r}: {reason}") from exc
         reports = self.probe(model, canary)
         bad = [(u, r) for u, r in zip(canary, reports) if not r.ok]
@@ -197,10 +221,12 @@ class ModelRegistry:
                 at=self.clock(), name=name, promoted=False,
                 canary_users=canary, reason=reason, reports=tuple(reports),
                 canary_seed=canary_seed, generation=generation,
+                rejection="canary",
             )
             self.history.append(record)
             if span is not None:
-                tel.end(span, outcome="rejected", failed_users=len(bad))
+                tel.end(span, outcome="rejected", reason="canary",
+                        failed_users=len(bad))
             raise PromotionError(
                 f"candidate {name!r} failed canary probe on "
                 f"{len(bad)}/{len(canary)} users: {reason}"
@@ -218,18 +244,40 @@ class ModelRegistry:
             tel.end(span, outcome="promoted")
         return record
 
-    def rollback(self) -> str:
-        """Demote the live model back to its predecessor; returns its name."""
+    def rollback(self, cause: str = "operator") -> str:
+        """Demote the live model back to its predecessor; returns its name.
+
+        ``cause`` is the structured rollback reason (e.g.
+        ``"post_promotion_regression"``); it is recorded durably in
+        :attr:`history` as a ``kind="rollback"`` record with
+        ``rejection="rollback:<cause>"`` and attached to the
+        ``serve/rollback`` span, so an audit can answer *why* a
+        generation was demoted, not just that it was.
+        """
         if self._previous is None:
             raise ModelUnavailableError("no previous model to roll back to")
+        demoted = self._live[0] if self._live else ""
+        rejection = f"rollback:{cause}"
         tel = self.telemetry
         span = (
-            tel.begin("serve/rollback", from_model=self._live[0] if self._live else None)
+            tel.begin("serve/rollback", from_model=demoted or None)
             if tel.enabled
             else None
         )
         self._live, self._previous = self._previous, None
+        restored_name, restored = self._live
+        generation = getattr(restored, "generation", None)
+        generation = int(generation) if isinstance(generation, int) else None
+        self.history.append(
+            PromotionRecord(
+                at=self.clock(), name=demoted, promoted=False,
+                canary_users=(), kind="rollback", rejection=rejection,
+                generation=generation,
+                reason=f"live model restored to {restored_name!r}",
+            )
+        )
         if span is not None:
             tel.counter("serve.rollbacks").inc()
-            tel.end(span, to_model=self._live[0])
-        return self._live[0]
+            tel.end(span, outcome="rolled_back", reason=rejection,
+                    to_model=restored_name)
+        return restored_name

@@ -271,9 +271,13 @@ class RecommenderService:
         self.metrics.incr("promotions")
         return record
 
-    def rollback(self) -> str:
-        """Demote the live model to its predecessor (fresh breaker)."""
-        name = self.registry.rollback()
+    def rollback(self, cause: str = "operator") -> str:
+        """Demote the live model to its predecessor (fresh breaker).
+
+        ``cause`` lands on the durable rollback record and the
+        ``serve/rollback`` span (see :meth:`ModelRegistry.rollback`).
+        """
+        name = self.registry.rollback(cause)
         self._breakers[name] = self._make_breaker()
         self.metrics.incr("rollbacks")
         return name

@@ -120,11 +120,17 @@ def render_trace_report(capture: TraceCapture, top: int = 10) -> str:
             f"calls={row['count']}"
         )
 
-    # outcome summary: span names carrying an "outcome" attribute
+    # outcome summary: span names carrying an "outcome" attribute.  A
+    # span that also carries a structured "reason" (rejected promotions,
+    # rollbacks) is tallied as outcome[reason], so the report breaks a
+    # promotion's rejections down by cause (canary vs index_sync vs ...).
     outcomes: dict[str, TallyCounter] = defaultdict(TallyCounter)
     for s in spans:
         if "outcome" in s.attrs:
-            outcomes[s.name][str(s.attrs["outcome"])] += 1
+            key = str(s.attrs["outcome"])
+            if "reason" in s.attrs:
+                key = f"{key}[{s.attrs['reason']}]"
+            outcomes[s.name][key] += 1
     if outcomes:
         lines.append("")
         lines.append("span outcomes:")

@@ -1,0 +1,605 @@
+"""Tests for the online learning loop (`repro.online`).
+
+Covers the stream's determinism and churn events, the shadow trainer's
+typed admission checks and sparse-row updates, the loop's quarantine /
+commit / promote / rollback mechanics, the full seeded churn matrix,
+and the freshness semantics the survey's dynamic direction
+(`repro.extensions.dynamic`) assumes: a newly-appended entity becomes
+scoreable after one incremental update while every untouched row stays
+bitwise unperturbed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.exceptions import (
+    ConfigError,
+    IndexStaleError,
+    OnlineError,
+    OnlineUpdateError,
+    PromotionError,
+)
+from repro.runtime.faults import (
+    ONLINE_FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+)
+from repro.serving.registry import ModelRegistry
+from repro.store.mmap import MmapShardStore
+from repro.telemetry import (
+    Telemetry,
+    read_jsonl,
+    render_trace_report,
+    write_jsonl,
+)
+from repro.online import (
+    ChaosCandidate,
+    ENTITY_TABLE,
+    InteractionStream,
+    ManifestCrashIO,
+    ShadowTrainer,
+    StreamConfig,
+    make_candidate,
+)
+from repro.online.harness import (
+    ChurnConfig,
+    SERVE_STATUSES,
+    build_world,
+    default_plan_for,
+    freshness_report,
+    run_churn_cell,
+    run_churn_matrix,
+)
+
+#: Small-but-real scenario: fast enough for unit tests, still crossing
+#: several commit cycles and introducing newcomers.
+SMALL = ChurnConfig(num_batches=32)
+
+
+# ---------------------------------------------------------------------- #
+# interaction stream
+# ---------------------------------------------------------------------- #
+class TestInteractionStream:
+    def test_replay_is_deterministic(self):
+        def traces(seed):
+            stream = InteractionStream(clock=ManualClock(), seed=seed)
+            return [stream.next_batch().trace() for __ in range(40)]
+
+        assert traces(3) == traces(3)
+        assert traces(3) != traces(4)
+
+    def test_newcomers_and_new_items_are_recorded(self):
+        stream = InteractionStream(clock=ManualClock(), seed=0)
+        c = stream.config
+        for __ in range(200):
+            batch = stream.next_batch()
+            for user in batch.new_users:
+                assert user >= c.warm_users
+            for item in batch.new_items:
+                # The introducing session must interact with the item,
+                # or it could never be learned from its first appearance.
+                assert item in batch.items.tolist()
+        assert stream.introduced_users  # churn actually happened
+        assert stream.introduced_items
+        # Capacity is a hard bound: ids never exceed the allocated table.
+        assert stream.seen_users <= c.num_users
+        assert stream.seen_items <= c.num_items
+        # Introduction order is dense and sequential.
+        newcomer_ids = [u for (__, u) in stream.introduced_users]
+        assert newcomer_ids == list(
+            range(c.warm_users, c.warm_users + len(newcomer_ids))
+        )
+
+    def test_clock_advances_per_batch(self):
+        clock = ManualClock()
+        stream = InteractionStream(clock=clock, seed=0)
+        stream.next_batch()
+        stream.next_batch()
+        assert clock() == pytest.approx(2 * stream.config.arrival_gap)
+
+    def test_requires_advanceable_clock(self):
+        import time
+
+        with pytest.raises(ConfigError, match="advance"):
+            InteractionStream(clock=time.monotonic, seed=0)
+
+    def test_warm_interactions_do_not_perturb_arrivals(self):
+        a = InteractionStream(clock=ManualClock(), seed=7)
+        b = InteractionStream(clock=ManualClock(), seed=7)
+        a.warm_interactions()  # only b consumes the warm history later
+        first_a = [a.next_batch().trace() for __ in range(10)]
+        first_b = [b.next_batch().trace() for __ in range(10)]
+        b.warm_interactions()
+        assert first_a == first_b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warm_users": 0},
+            {"warm_users": 99, "num_users": 48},
+            {"session_size": 0},
+            {"newcomer_rate": 1.5},
+            {"arrival_gap": -1.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            StreamConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# shadow trainer
+# ---------------------------------------------------------------------- #
+@pytest.fixture()
+def trainer(tmp_path):
+    trainer, generation = ShadowTrainer.bootstrap(
+        tmp_path / "store", num_users=12, num_items=30, dim=6, seed=0,
+        rows_per_shard=8, io=ManifestCrashIO(),
+    )
+    assert generation == 1
+    yield trainer
+    trainer.store.close()
+
+
+class TestShadowTrainer:
+    def test_bootstrap_commits_the_init(self, trainer, tmp_path):
+        store = MmapShardStore.open(tmp_path / "store", mode="serve")
+        on_disk = np.ascontiguousarray(
+            store.table(ENTITY_TABLE).to_array(), dtype="<f4"
+        ).tobytes()
+        store.close()
+        assert on_disk == trainer.table_bytes()
+
+    @pytest.mark.parametrize(
+        "users, items, weights, match",
+        [
+            ([0], [1, 2], [1.0], "length mismatch"),
+            ([], [], [], "empty"),
+            ([0.5], [1], [1.0], "integers"),
+            ([0], [1], [np.nan], "not finite"),
+            ([0], [1], [-1.0], "negative"),
+            ([99], [1], [1.0], "user ids outside"),
+            ([0], [99], [1.0], "item ids outside"),
+            ([0], [-3], [1.0], "item ids outside"),
+        ],
+    )
+    def test_poisoned_batches_raise_typed(
+        self, trainer, users, items, weights, match
+    ):
+        before = trainer.table_bytes()
+        with pytest.raises(OnlineUpdateError, match=match):
+            trainer.apply(
+                np.asarray(users), np.asarray(items),
+                np.asarray(weights, dtype=np.float64),
+            )
+        # Quarantine means *untouched*: rejection precedes any update.
+        assert trainer.table_bytes() == before
+        assert trainer.batches_quarantined > 0
+        assert trainer.dirty_rows() == 0
+
+    def test_apply_touches_exactly_the_reported_rows(self, trainer):
+        before = np.frombuffer(trainer.table_bytes(), dtype="<f4").reshape(
+            trainer.num_users + trainer.num_items, trainer.dim
+        )
+        users = np.asarray([2, 5])
+        items = np.asarray([7, 11])
+        touched = trainer.apply(users, items, np.ones(2))
+        after = np.frombuffer(trainer.table_bytes(), dtype="<f4").reshape(
+            before.shape
+        )
+        assert np.all(np.diff(touched) > 0)  # sorted, unique
+        for row in (2, 5, trainer.num_users + 7, trainer.num_users + 11):
+            assert row in touched
+        untouched = np.setdiff1d(np.arange(before.shape[0]), touched)
+        assert np.array_equal(before[untouched], after[untouched])
+        assert not np.array_equal(before[touched], after[touched])
+        assert trainer.dirty_rows() == touched.size
+
+    def test_commit_persists_exact_bytes(self, trainer, tmp_path):
+        trainer.apply(np.asarray([0, 1]), np.asarray([3, 4]), np.ones(2))
+        generation = trainer.commit(tag="t")
+        assert generation == 2
+        store = MmapShardStore.open(
+            tmp_path / "store", mode="serve", generation=generation
+        )
+        on_disk = np.ascontiguousarray(
+            store.table(ENTITY_TABLE).to_array(), dtype="<f4"
+        ).tobytes()
+        store.close()
+        assert on_disk == trainer.table_bytes()
+
+    def test_manifest_crash_recovers_previous_generation(
+        self, trainer, tmp_path
+    ):
+        bootstrap_bytes = trainer.table_bytes()
+        trainer.apply(np.asarray([0]), np.asarray([0]), np.ones(1))
+        trainer.store.io.arm_manifest_crash()
+        with pytest.raises(InjectedCrash, match="manifest"):
+            trainer.commit(tag="doomed")
+        trainer.store.close()
+        # The new generation's shards may be durable, but the manifest
+        # rename never happened: reopening serves the bootstrap bytes.
+        store = MmapShardStore.open(tmp_path / "store", mode="serve")
+        assert store.generation == 1
+        recovered = np.ascontiguousarray(
+            store.table(ENTITY_TABLE).to_array(), dtype="<f4"
+        ).tobytes()
+        store.close()
+        assert recovered == bootstrap_bytes
+
+    def test_config_validation(self, tmp_path):
+        store = MmapShardStore.create(tmp_path / "s2", rows_per_shard=8)
+        try:
+            with pytest.raises(ConfigError, match="lr"):
+                ShadowTrainer(store, 4, 4, lr=0.0)
+            with pytest.raises(ConfigError, match="epochs"):
+                ShadowTrainer(store, 4, 4, epochs=0)
+        finally:
+            store.close()
+        serve = None
+        trainer2, __ = ShadowTrainer.bootstrap(tmp_path / "s3", 4, 4)
+        trainer2.store.close()
+        try:
+            serve = MmapShardStore.open(tmp_path / "s3", mode="serve")
+            with pytest.raises(ConfigError, match="train-mode"):
+                ShadowTrainer(serve, 4, 4)
+        finally:
+            if serve is not None:
+                serve.close()
+
+
+# ---------------------------------------------------------------------- #
+# dynamic freshness semantics (ties repro.extensions.dynamic to the loop)
+# ---------------------------------------------------------------------- #
+class TestDynamicFreshnessSemantics:
+    """The survey's dynamic direction, made operational.
+
+    `repro.extensions.dynamic` models drifting preferences offline; the
+    online loop is what serves them.  The contract tested here is the
+    freshness semantics both rely on: an entity appended mid-stream
+    (newcomer user, new catalog item) must become scoreable after one
+    incremental update, and that update must not perturb any other row
+    bitwise.
+    """
+
+    NUM_USERS, NUM_ITEMS, WARM_USERS = 12, 30, 8
+
+    @pytest.fixture()
+    def world(self, tmp_path):
+        trainer, generation = ShadowTrainer.bootstrap(
+            tmp_path / "store", self.NUM_USERS, self.NUM_ITEMS,
+            dim=6, seed=0, rows_per_shard=8,
+        )
+        # Warm history over the existing population.
+        rng = np.random.default_rng(0)
+        users = rng.integers(self.WARM_USERS, size=24)
+        items = rng.integers(20, size=24)
+        trainer.apply(users, items, np.ones(users.size))
+        generation = trainer.commit(tag="warm")
+        yield tmp_path / "store", trainer, generation
+        trainer.store.close()
+
+    def test_new_entity_scoreable_after_one_update(self, world):
+        store_dir, trainer, generation = world
+        new_user = self.WARM_USERS  # first id beyond the warm population
+        new_item = 25
+        item_row = trainer.num_users + new_item
+
+        def pair_score():
+            return float(trainer.entity[new_user] @ trainer.entity[item_row])
+
+        before_bytes = np.frombuffer(
+            trainer.table_bytes(), dtype="<f4"
+        ).reshape(trainer.num_users + trainer.num_items, trainer.dim)
+        before_score = pair_score()
+
+        touched = trainer.apply(
+            np.asarray([new_user]), np.asarray([new_item]), np.ones(1)
+        )
+
+        # The appended entities' rows were the ones updated...
+        assert new_user in touched
+        assert item_row in touched
+        # ...the interaction is now reflected in the learned geometry...
+        assert pair_score() > before_score
+        # ...and every untouched row is bitwise unperturbed.
+        after_bytes = np.frombuffer(
+            trainer.table_bytes(), dtype="<f4"
+        ).reshape(before_bytes.shape)
+        untouched = np.setdiff1d(
+            np.arange(before_bytes.shape[0]), touched
+        )
+        assert np.array_equal(before_bytes[untouched], after_bytes[untouched])
+
+    def test_served_candidate_reflects_the_update(self, world):
+        store_dir, trainer, __ = world
+        new_user = self.WARM_USERS
+        new_item = 25
+
+        from repro.core.dataset import Dataset
+        from repro.core.interactions import InteractionMatrix
+
+        dataset = Dataset(
+            name="dyn",
+            interactions=InteractionMatrix(
+                np.asarray([0, 1, 2]), np.asarray([0, 1, 2]),
+                self.NUM_USERS, self.NUM_ITEMS,
+            ),
+        )
+
+        def rank_of_item(generation):
+            keep = []
+            candidate = make_candidate(
+                store_dir, dataset, self.NUM_USERS, self.NUM_ITEMS,
+                generation, keep=keep,
+            )
+            scores = np.asarray(candidate.score_all(new_user))
+            for store in keep:
+                store.close()
+            assert scores.shape == (self.NUM_ITEMS,)
+            assert np.all(np.isfinite(scores))
+            order = np.argsort(-scores, kind="stable")
+            return int(np.where(order == new_item)[0][0])
+
+        frozen_generation = trainer.store.generation
+        rank_frozen = rank_of_item(frozen_generation)
+        for __ in range(3):  # a few sessions: the pair should dominate
+            trainer.apply(
+                np.asarray([new_user]), np.asarray([new_item]), np.ones(1)
+            )
+        fresh_generation = trainer.commit(tag="fresh")
+        rank_fresh = rank_of_item(fresh_generation)
+        assert rank_fresh < rank_frozen  # the interacted item moved up
+        assert rank_fresh < 5
+
+
+# ---------------------------------------------------------------------- #
+# the loop: quarantine, cadence, typed outcomes
+# ---------------------------------------------------------------------- #
+class TestOnlineLoop:
+    def test_fault_free_cadence_and_bookkeeping(self, tmp_path):
+        world = build_world(tmp_path, seed=0, plan=FaultPlan(), config=SMALL)
+        world.loop.run(SMALL.num_batches)
+        loop = world.loop
+        assert len(loop.batch_outcomes) == SMALL.num_batches
+        assert all(b.status == "applied" for b in loop.batch_outcomes)
+        # One cycle per commit_every applied batches, on the right steps.
+        expected = SMALL.num_batches // SMALL.commit_every
+        assert len(loop.cycles) == expected
+        assert [c.step for c in loop.cycles] == [
+            k * SMALL.commit_every - 1 for k in range(1, expected + 1)
+        ]
+        assert {c.outcome for c in loop.cycles} <= {"promoted", "skipped"}
+        # The served generation is the newest committed one, bitwise.
+        assert loop.live_generation() == max(loop.committed)
+        # Applied interactions were recorded for the freshness metric.
+        assert loop.applied_interactions
+        assert all(
+            status.split("|")[2] in SERVE_STATUSES
+            for status in loop.watch_traces
+        )
+        world.loop.close()
+
+    def test_consecutive_quarantines_bounded(self, tmp_path):
+        # quarantine_limit=2: two consecutive poisons are absorbed, a
+        # third consecutive one halts the loop with OnlineError.
+        plan = FaultPlan(
+            [Fault(step=s, kind="poison_batch") for s in (4, 5, 6)]
+        )
+        world = build_world(tmp_path, seed=0, plan=plan, config=SMALL)
+        with pytest.raises(OnlineError, match="consecutive"):
+            world.loop.run(SMALL.num_batches)
+        quarantined = [
+            b for b in world.loop.batch_outcomes if b.status == "quarantined"
+        ]
+        assert len(quarantined) == 3
+        assert all("OnlineUpdateError" in b.error for b in quarantined)
+        world.loop.close()
+
+    def test_interleaved_quarantines_are_absorbed(self, tmp_path):
+        # Non-consecutive poisons never trip the bound, however many.
+        plan = FaultPlan(
+            [Fault(step=s, kind="poison_batch") for s in (4, 6, 8, 10)]
+        )
+        world = build_world(tmp_path, seed=0, plan=plan, config=SMALL)
+        world.loop.run(SMALL.num_batches)
+        quarantined = [
+            b for b in world.loop.batch_outcomes if b.status == "quarantined"
+        ]
+        assert len(quarantined) == 4
+        world.loop.close()
+
+    def test_loop_config_validation(self, tmp_path):
+        world = build_world(tmp_path, seed=0, plan=FaultPlan(), config=SMALL)
+        from repro.online import OnlineLoop
+
+        with pytest.raises(ConfigError):
+            OnlineLoop(
+                world.stream, world.trainer, world.service, commit_every=0
+            )
+        with pytest.raises(ConfigError):
+            OnlineLoop(
+                world.stream, world.trainer, world.service,
+                quarantine_limit=-1,
+            )
+        world.loop.close()
+
+
+# ---------------------------------------------------------------------- #
+# chaos candidate
+# ---------------------------------------------------------------------- #
+class TestChaosCandidate:
+    class _Inner:
+        generation = 7
+        supports_candidates = True
+
+        def sync_index(self, force=False):
+            return 7
+
+        def score_candidates(self, user_id, k=None):
+            return np.arange(3), np.asarray([3.0, 2.0, 1.0])
+
+        def score_all(self, user_id):
+            return np.asarray([3.0, 2.0, 1.0])
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigError, match="regress"):
+            ChaosCandidate(self._Inner(), regress="sometimes")
+
+    def test_sync_fail(self):
+        chaos = ChaosCandidate(self._Inner(), fail_sync=True)
+        with pytest.raises(IndexStaleError):
+            chaos.sync_index()
+
+    def test_canary_mode_poisons_immediately(self):
+        chaos = ChaosCandidate(self._Inner(), regress="canary")
+        __, scores = chaos.score_candidates(0)
+        assert np.all(np.isnan(scores))
+
+    def test_late_mode_poisons_only_after_arm(self):
+        chaos = ChaosCandidate(self._Inner(), regress="late")
+        assert np.all(np.isfinite(chaos.score_all(0)))
+        chaos.arm()
+        assert np.all(np.isnan(chaos.score_all(0)))
+        # Attribute forwarding + pinned generation survive the wrapper.
+        assert chaos.generation == 7
+        assert chaos.supports_candidates
+
+
+# ---------------------------------------------------------------------- #
+# churn matrix: every fault kind, full safety contract
+# ---------------------------------------------------------------------- #
+class TestChurnMatrix:
+    def test_every_kind_passes_for_seed_zero(self, tmp_path):
+        cells = run_churn_matrix(tmp_path, seed=0, config=SMALL)
+        assert [c.kind for c in cells] == ["none", *ONLINE_FAULT_KINDS]
+        for cell in cells:
+            assert cell.ok, cell.describe()
+        by_kind = {c.kind: c for c in cells}
+        assert by_kind["poison_batch"].quarantined == 2
+        assert by_kind["commit_crash"].crashed
+        assert by_kind["sync_fail"].rejected >= 1
+        assert by_kind["canary_regress"].rejected >= 1
+        assert by_kind["late_regress"].rolled_back >= 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown online fault kind"):
+            default_plan_for("gremlins", SMALL)
+
+    def test_fault_free_replay_is_deterministic(self, tmp_path):
+        def trace(run):
+            world = build_world(
+                tmp_path / run, seed=1, plan=FaultPlan(), config=SMALL
+            )
+            world.loop.run(SMALL.num_batches)
+            out = (
+                [b.trace() for b in world.loop.batch_outcomes]
+                + [c.trace() for c in world.loop.cycles]
+                + list(world.loop.watch_traces)
+            )
+            world.loop.close()
+            return out
+
+        assert trace("a") == trace("b")
+
+    def test_freshness_beats_frozen_baseline(self, tmp_path):
+        config = ChurnConfig(num_batches=48)
+        world = build_world(tmp_path, seed=0, plan=FaultPlan(), config=config)
+        world.loop.run(config.num_batches)
+        fresh = freshness_report(world)
+        assert fresh["newcomer_users"] > 0
+        assert fresh["hit_rate_online"] > fresh["hit_rate_frozen"]
+        assert fresh["freshness_uplift"] > 0.2
+        world.loop.close()
+
+    def test_rolled_back_generation_is_not_served(self, tmp_path):
+        plan = default_plan_for("late_regress", SMALL)
+        world = build_world(tmp_path, seed=0, plan=plan, config=SMALL)
+        world.loop.run(SMALL.num_batches)
+        loop = world.loop
+        rolled = [c for c in loop.cycles if c.outcome == "rolled_back"]
+        assert len(rolled) == 1
+        # The regressed generation was committed (it is durable on disk)
+        # but rollback means it never stayed live — and later healthy
+        # cycles promoted past it.
+        assert rolled[0].generation in loop.committed
+        assert loop.live_generation() != rolled[0].generation
+        assert "post_promotion_regression" in str(
+            world.service.registry.history
+        )
+        world.loop.close()
+
+
+# ---------------------------------------------------------------------- #
+# structured promotion rejections (registry + trace-report surfacing)
+# ---------------------------------------------------------------------- #
+class TestPromotionRecordStructure:
+    class _Good:
+        generation = 3
+
+        def score_all(self, user_id):
+            return np.arange(10, dtype=np.float64)
+
+    class _SyncBroken(_Good):
+        def sync_index(self, force=False):
+            raise IndexStaleError("segment vanished")
+
+    class _NaN(_Good):
+        generation = 4
+
+        def score_all(self, user_id):
+            return np.full(10, np.nan)
+
+    def test_index_sync_rejection_is_structured(self):
+        reg = ModelRegistry(10, clock=ManualClock())
+        with pytest.raises(PromotionError, match="index sync failed"):
+            reg.promote("cand", self._SyncBroken(), canary_users=range(3))
+        record = reg.history[-1]
+        assert not record.promoted
+        assert record.kind == "promote"
+        assert record.rejection == "index_sync:IndexStaleError"
+        assert record.generation == 3
+        assert "[index_sync:IndexStaleError]" in record.describe()
+
+    def test_canary_rejection_is_structured(self):
+        reg = ModelRegistry(10, clock=ManualClock())
+        reg.promote("good", self._Good(), canary_users=range(3))
+        with pytest.raises(PromotionError, match="canary"):
+            reg.promote("bad", self._NaN(), canary_users=range(3))
+        record = reg.history[-1]
+        assert record.rejection == "canary"
+        assert record.reports  # per-user score reports ride along
+        assert reg.live_name == "good"
+
+    def test_rollback_leaves_a_structured_record(self):
+        reg = ModelRegistry(10, clock=ManualClock())
+        reg.promote("a", self._Good(), canary_users=range(3))
+        reg.promote("b", self._Good(), canary_users=range(3))
+        assert reg.rollback(cause="post_promotion_regression") == "a"
+        record = reg.history[-1]
+        assert record.kind == "rollback"
+        assert record.rejection == "rollback:post_promotion_regression"
+        assert "ROLLED BACK" in record.describe()
+        assert "[rollback:post_promotion_regression]" in record.describe()
+
+    def test_trace_report_tallies_break_down_by_cause(self, tmp_path):
+        clock = ManualClock()
+        tel = Telemetry(clock=clock)
+        reg = ModelRegistry(10, clock=clock, telemetry=tel)
+        reg.promote("good", self._Good(), canary_users=range(3))
+        with pytest.raises(PromotionError):
+            reg.promote("sync", self._SyncBroken(), canary_users=range(3))
+        with pytest.raises(PromotionError):
+            reg.promote("nan", self._NaN(), canary_users=range(3))
+        reg.promote("next", self._Good(), canary_users=range(3))
+        reg.rollback(cause="post_promotion_regression")
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tel)
+        text = render_trace_report(read_jsonl(path))
+        # The outcome tally splits rejections by their structured cause.
+        assert "rejected[index_sync:IndexStaleError]" in text
+        assert "rejected[canary]" in text
+        assert "rolled_back[rollback:post_promotion_regression]" in text
+        assert "promoted=2" in text

@@ -296,6 +296,53 @@ class TestRetryPolicy:
         with pytest.raises(ConfigError):
             RetryPolicy(total_budget=0.0)
 
+    def test_budget_with_zero_base_delay_rejected(self):
+        # base_delay=0 means backoff sleeps can never consume the budget:
+        # the loop would retry max_attempts times with the budget check
+        # inert.  Construction must reject the combination up front.
+        with pytest.raises(ConfigError, match="base_delay"):
+            RetryPolicy(total_budget=5.0, base_delay=0.0)
+        # Without a budget, zero backoff stays legal (pure attempt cap).
+        RetryPolicy(base_delay=0.0)
+        # With max_attempts=1 there is no backoff to consume it either.
+        RetryPolicy(total_budget=5.0, base_delay=0.0, max_attempts=1)
+
+    def test_budget_with_non_advancing_clock_raises_config_error(self):
+        # A mis-wired ManualClock (sleep does not advance the clock the
+        # policy reads) would make the budget check read zero elapsed
+        # time forever — surfaced as ConfigError, not an infinite spin.
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, jitter=0.0, total_budget=100.0,
+            sleep=lambda s: None, clock=lambda: 0.0,
+        )
+
+        def broken():
+            raise OSError("still down")
+
+        with pytest.raises(ConfigError, match="clock did not advance"):
+            policy.call(broken)
+
+    def test_budget_with_wired_manual_clock_trips_normally(self):
+        # Correctly wired (sleep advances the same clock), the budget
+        # gives up with the last real error — never ConfigError.
+        from repro.core.clock import ManualClock
+
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=1.0, multiplier=1.0, jitter=0.0,
+            total_budget=3.5, sleep=clock.advance, clock=clock,
+        )
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise OSError("still down")
+
+        with pytest.raises(OSError):
+            policy.call(broken)
+        assert 1 < len(calls) < 50  # budget, not the attempt cap, stopped it
+        assert clock() <= 3.5
+
 
 # ---------------------------------------------------------------------- #
 # checkpointing

@@ -271,7 +271,12 @@ class TestModelRegistry:
         reg.promote("b", MostPopular().fit(dataset), canary_users=range(4))
         assert reg.live_name == "b"
         assert reg.rollback() == "a"
-        assert [r.promoted for r in reg.history] == [True, True]
+        # Two promotions plus the rollback's own audit record.
+        assert [r.kind for r in reg.history] == [
+            "promote", "promote", "rollback",
+        ]
+        assert [r.promoted for r in reg.history] == [True, True, False]
+        assert reg.history[-1].rejection == "rollback:operator"
 
     def test_rejects_nan_candidate(self, dataset):
         reg = ModelRegistry(dataset.num_items, clock=ManualClock())
