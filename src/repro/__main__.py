@@ -9,6 +9,7 @@ Usage::
     python -m repro scenarios          # list dataset generators
     python -m repro models             # list implemented models by family
     python -m repro serve-demo         # chaos replay through the serving layer
+    python -m repro load-test          # persona-driven load run + LoadReport
     python -m repro retrieval-demo     # ANN rung: staleness + index-synced promote
     python -m repro online-demo        # continuous deployment under churn + faults
     python -m repro trace-report f.jsonl   # render a --trace-out capture
@@ -152,6 +153,21 @@ def _cmd_serve_demo(args) -> str:
     return report
 
 
+def _cmd_load_test(args) -> str:
+    from repro.traffic.demo import run_load_test, run_smoke
+
+    if args.smoke:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+        return run_smoke(seeds=seeds)
+    return run_load_test(
+        scenario=args.scenario,
+        seed=args.seed,
+        horizon=args.horizon,
+        rate_scale=args.rate_scale,
+        fault_rate=args.fault_rate,
+    )
+
+
 def _cmd_retrieval_demo(args) -> str:
     from repro.retrieval.demo import run_demo
 
@@ -287,6 +303,35 @@ def main(argv: list[str] | None = None) -> int:
         "(with --smoke: also assert trace determinism + outcome reconciliation)",
     )
 
+    p_load = sub.add_parser(
+        "load-test",
+        help="persona-driven traffic replay: population + schedule + load "
+        "report with exact telemetry reconciliation",
+    )
+    p_load.add_argument(
+        "--scenario", default="movie",
+        help="Table-4 scenario whose persona mix drives the load",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--horizon", type=float, default=2.0,
+        help="simulated seconds of traffic",
+    )
+    p_load.add_argument(
+        "--rate-scale", type=float, default=8.0,
+        help="global arrival-rate multiplier (the throughput dial)",
+    )
+    p_load.add_argument("--fault-rate", type=float, default=0.0)
+    p_load.add_argument(
+        "--smoke", action="store_true",
+        help="assert determinism, response/shed-rate invariants, telemetry "
+        "reconciliation, and the persona-driven online bridge (CI mode)",
+    )
+    p_load.add_argument(
+        "--seeds", default="0,1,2,3,4",
+        help="comma-separated seed matrix for --smoke",
+    )
+
     p_retr = sub.add_parser(
         "retrieval-demo",
         help="two-stage retrieval replay: ANN rung, injected + real index "
@@ -373,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_models())
     elif args.command == "serve-demo":
         print(_cmd_serve_demo(args))
+    elif args.command == "load-test":
+        print(_cmd_load_test(args))
     elif args.command == "retrieval-demo":
         print(_cmd_retrieval_demo(args))
     elif args.command == "online-demo":

@@ -101,13 +101,25 @@ def build_world(
     plan: FaultPlan | None = None,
     config: ChurnConfig | None = None,
     telemetry=None,
+    stream_factory=None,
 ) -> World:
-    """Build a complete online world rooted at ``workdir``."""
+    """Build a complete online world rooted at ``workdir``.
+
+    ``stream_factory(config, clock, seed)`` overrides how the
+    interaction stream is built — the hook the traffic simulator uses to
+    drive the loop from persona streams
+    (:func:`repro.traffic.stream.persona_stream_factory`) instead of the
+    default :class:`InteractionStream`.
+    """
     config = config if config is not None else ChurnConfig()
     c = config.stream
     workdir = Path(workdir)
     clock = ManualClock()
-    stream = InteractionStream(c, clock=clock, seed=seed)
+    stream = (
+        stream_factory(c, clock, seed)
+        if stream_factory is not None
+        else InteractionStream(c, clock=clock, seed=seed)
+    )
     store_dir = workdir / "store"
     trainer, generation = ShadowTrainer.bootstrap(
         store_dir, c.num_users, c.num_items, dim=config.model_dim,
@@ -222,11 +234,14 @@ def run_churn_cell(
     seed: int,
     kind: str,
     config: ChurnConfig | None = None,
+    stream_factory=None,
 ) -> ChurnCell:
     """Replay one (seed, kind) cell and check every contract."""
     config = config if config is not None else ChurnConfig()
     plan = default_plan_for(kind, config)
-    world = build_world(workdir, seed, plan=plan, config=config)
+    world = build_world(
+        workdir, seed, plan=plan, config=config, stream_factory=stream_factory
+    )
     loop = world.loop
     problems: list[str] = []
     crashed = False
@@ -377,11 +392,13 @@ def run_churn_matrix(
     seed: int,
     kinds: tuple[str, ...] = ("none",) + ONLINE_FAULT_KINDS,
     config: ChurnConfig | None = None,
+    stream_factory=None,
 ) -> list[ChurnCell]:
     """Every fault kind once for ``seed``, each cell in its own directory."""
     workdir = Path(workdir)
     return [
-        run_churn_cell(workdir / kind, seed, kind, config) for kind in kinds
+        run_churn_cell(workdir / kind, seed, kind, config, stream_factory)
+        for kind in kinds
     ]
 
 

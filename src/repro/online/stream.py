@@ -147,21 +147,40 @@ class InteractionStream:
         return users.astype(np.int64), items
 
     # ------------------------------------------------------------------ #
+    # arrival hooks — subclasses (e.g. the persona-driven stream in
+    # repro.traffic.stream) override these two to change *who arrives
+    # when* without touching session composition or churn bookkeeping.
+    # ------------------------------------------------------------------ #
+    def _draw_user(self, step: int) -> tuple[int, tuple[int, ...]]:
+        """``(user, new_users)`` for this batch.
+
+        The base implementation consumes the stream RNG in exactly the
+        historical order (one ``random()``, then ``integers`` only on the
+        non-newcomer branch), so refactoring this out of
+        :meth:`next_batch` changed no seeded replay.
+        """
+        c = self.config
+        rng = self._rng
+        if self.seen_users < c.num_users and rng.random() < c.newcomer_rate:
+            user = self.seen_users
+            self.seen_users += 1
+            self.introduced_users.append((step, user))
+            return user, (user,)
+        return int(rng.integers(self.seen_users)), ()
+
+    def _arrival_gap(self) -> float:
+        """Clock advance after the current batch (to the next arrival)."""
+        return self.config.arrival_gap
+
+    # ------------------------------------------------------------------ #
     def next_batch(self) -> InteractionBatch:
-        """The next session; advances the shared clock by ``arrival_gap``."""
+        """The next session; advances the shared clock to the next arrival."""
         c = self.config
         rng = self._rng
         step = self.step
         self.step += 1
 
-        new_users: tuple[int, ...] = ()
-        if self.seen_users < c.num_users and rng.random() < c.newcomer_rate:
-            user = self.seen_users
-            self.seen_users += 1
-            self.introduced_users.append((step, user))
-            new_users = (user,)
-        else:
-            user = int(rng.integers(self.seen_users))
+        user, new_users = self._draw_user(step)
 
         new_items: tuple[int, ...] = ()
         if self.seen_items < c.num_items and rng.random() < c.new_item_rate:
@@ -185,7 +204,7 @@ class InteractionStream:
             items[-1] = new_items[0]
 
         at = self.clock()
-        self.clock.advance(c.arrival_gap)
+        self.clock.advance(self._arrival_gap())
         return InteractionBatch(
             step=step,
             at=at,

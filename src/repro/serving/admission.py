@@ -13,11 +13,21 @@ timeouts).
 The model is exact for the replay harness (arrivals and service times
 both advance the same :class:`~repro.serving.clock.ManualClock`) and a
 reasonable token-bucket approximation under a real clock.
+
+Backlog accounting is carried in :class:`fractions.Fraction`, not float:
+``Fraction(float)`` is an exact conversion, so the drain arithmetic is
+free of accumulation drift.  The old incremental float subtraction could
+leave the backlog a few ULPs above its true value after long chains of
+tiny drains, which made ``backlog >= capacity`` over-trigger sheds when
+many requests landed at the same :class:`ManualClock` timestamp — the
+exact representation makes same-instant bursts admit exactly the
+remaining headroom before the first shed.
 """
 
 from __future__ import annotations
 
 import time
+from fractions import Fraction
 from typing import Callable
 
 from repro.core.exceptions import ConfigError, Overloaded
@@ -53,27 +63,33 @@ class AdmissionQueue:
         self.capacity = capacity
         self.drain_rate = drain_rate
         self.clock = clock
-        self._backlog = 0.0
-        self._last = clock()
+        # Exact accounting: Fraction(float) converts without rounding, so
+        # backlog -= elapsed * rate never drifts the way repeated float
+        # subtraction does.
+        self._rate = Fraction(float(drain_rate))
+        self._backlog = Fraction(0)
+        self._last = Fraction(float(clock()))
         self.admitted = 0
         self.shed = 0
 
     def _drain(self) -> None:
-        now = self.clock()
-        elapsed = now - self._last
-        if elapsed > 0:
-            self._backlog = max(0.0, self._backlog - elapsed * self.drain_rate)
+        now = Fraction(float(self.clock()))
+        if now > self._last:
+            self._backlog = max(
+                Fraction(0), self._backlog - (now - self._last) * self._rate
+            )
             self._last = now
 
     @property
     def depth(self) -> float:
         """Current backlog after draining for elapsed clock time."""
         self._drain()
-        return self._backlog
+        return float(self._backlog)
 
     def estimated_wait(self) -> float:
         """Seconds a newly admitted request would wait behind the backlog."""
-        return self.depth / self.drain_rate
+        self._drain()
+        return float(self._backlog / self._rate)
 
     def admit(self) -> float:
         """Admit one request or raise :class:`Overloaded`.
@@ -85,11 +101,12 @@ class AdmissionQueue:
         if self._backlog >= self.capacity:
             self.shed += 1
             raise Overloaded(
-                f"admission queue full ({self._backlog:.1f}/{self.capacity} "
-                f"pending at drain rate {self.drain_rate:g}/s); request shed"
+                f"admission queue full ({float(self._backlog):.1f}/"
+                f"{self.capacity} pending at drain rate "
+                f"{self.drain_rate:g}/s); request shed"
             )
-        wait = self._backlog / self.drain_rate
-        self._backlog += 1.0
+        wait = float(self._backlog / self._rate)
+        self._backlog += 1
         self.admitted += 1
         return wait
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.rng import ensure_rng
 from repro.data import make_movie_dataset
 from repro.models.baselines import ItemKNN, MostPopular
 from repro.runtime.faults import SERVING_FAULT_KINDS, FaultInjector, FaultPlan
@@ -41,10 +40,10 @@ __all__ = [
 ]
 
 #: Replay shape: deadline tight enough that a latency fault blows it.
+#: The burst gap mixture itself lives in
+#: :meth:`repro.traffic.schedule.TrafficSchedule.bursty`.
 DEADLINE = 0.05
 LATENCY_FAULT_SECONDS = 0.12
-SERVICE_TIME = 0.004
-BURST_GAP = 0.02
 
 
 def build_demo_service(
@@ -100,17 +99,24 @@ def run_replay(
     seed: int = 0,
     num_requests: int = 300,
 ) -> list[str]:
-    """Drive a bursty seeded request stream; returns the response traces."""
-    rng = ensure_rng(seed + 1)
-    num_users = service.dataset.num_users
+    """Drive a bursty seeded request stream; returns the response traces.
+
+    The stream is :meth:`TrafficSchedule.bursty` — the demo's original
+    private generator re-expressed as a schedule, draw-for-draw RNG
+    compatible — driven with the schedule's exact per-event gaps: ~70%
+    of requests land instantly behind the previous one, the rest after a
+    gap that lets the queue drain.
+    """
+    from repro.traffic.schedule import TrafficSchedule
+
+    schedule = TrafficSchedule.bursty(
+        service.dataset.num_users, num_requests, seed
+    )
     traces: list[str] = []
-    for __ in range(num_requests):
-        user = int(rng.integers(num_users))
-        response = service.serve(ServeRequest(user_id=user, k=10))
+    for request, gap in zip(schedule, schedule.gaps()):
+        response = service.serve(ServeRequest(user_id=request.user_id, k=request.k))
         traces.append(response.trace())
-        # Requests arrive in bursts: ~70% land instantly behind the
-        # previous one, the rest after a gap that lets the queue drain.
-        clock.advance(SERVICE_TIME if rng.random() < 0.7 else BURST_GAP)
+        clock.advance(gap)
     return traces
 
 

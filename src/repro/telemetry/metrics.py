@@ -12,7 +12,12 @@ Three instrument kinds, all zero-dependency and JSON-exportable:
   the sample maximum rather than an interpolated value that no request
   actually experienced.  Past the retention cap, quantiles degrade to the
   bucket upper-bound estimate (the usual Prometheus-style answer) and the
-  snapshot says which regime produced the number.
+  snapshot says which regime produced the number.  Long-running load
+  tests can instead opt into ``reservoir=True``: past the cap the sample
+  set becomes a seeded Algorithm-R reservoir (uniform over all
+  observations), so quantiles stay unbiased nearest-rank estimates
+  instead of bucket bounds.  The default mode's exports stay
+  byte-identical.
 
 Series are labeled: ``registry.counter("serve.status", status="ok")`` and
 ``status="degraded"`` are distinct series under one name.  Snapshots are
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from math import ceil, inf, isnan, nan
+from random import Random
 
 __all__ = [
     "Counter",
@@ -121,15 +127,26 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket distribution with exact small-sample quantiles."""
+    """Fixed-bucket distribution with exact small-sample quantiles.
+
+    With ``reservoir=True`` the retained sample set stays a uniform
+    random subset of *all* observations past ``max_samples`` (Vitter's
+    Algorithm R, seeded, deterministic), so quantiles remain unbiased
+    nearest-rank estimates instead of bucket upper bounds.  The default
+    (``reservoir=False``) keeps the first ``max_samples`` observations
+    and degrades to bucket bounds, byte-identical to prior exports.
+    """
 
     __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max",
-                 "max_samples", "_samples")
+                 "max_samples", "reservoir", "reservoir_seed", "_samples",
+                 "_rng")
 
     def __init__(
         self,
         bounds: tuple[float, ...] = DEFAULT_BUCKETS,
         max_samples: int = 4096,
+        reservoir: bool = False,
+        reservoir_seed: int = 0,
     ) -> None:
         bounds = tuple(float(b) for b in bounds)
         if not bounds:
@@ -145,7 +162,10 @@ class Histogram:
         self.min = inf
         self.max = -inf
         self.max_samples = max_samples
+        self.reservoir = bool(reservoir)
+        self.reservoir_seed = int(reservoir_seed)
         self._samples: list[float] = []  # kept sorted, exact while small
+        self._rng = Random(self.reservoir_seed) if self.reservoir else None
 
     # ------------------------------------------------------------------ #
     def observe(self, value: float) -> None:
@@ -161,6 +181,15 @@ class Histogram:
             self.max = value
         if len(self._samples) < self.max_samples:
             insort(self._samples, value)
+        elif self.reservoir:
+            # Algorithm R: observation ``count`` replaces a uniformly
+            # chosen reservoir slot with probability max_samples/count.
+            # The list is sorted, but deleting index ``j`` still evicts a
+            # uniformly chosen *element*, which is all uniformity needs.
+            j = self._rng.randrange(self.count)
+            if j < self.max_samples:
+                del self._samples[j]
+                insort(self._samples, value)
 
     @property
     def exact(self) -> bool:
@@ -171,12 +200,14 @@ class Histogram:
         """The ``q``-th percentile (NaN before any observation).
 
         Exact (nearest-rank over retained samples) while :attr:`exact`;
-        otherwise the upper bound of the bucket holding the target rank,
-        clamped to the observed max for the overflow bucket.
+        in reservoir mode, nearest-rank over the uniform reservoir (an
+        unbiased estimate); otherwise the upper bound of the bucket
+        holding the target rank, clamped to the observed max for the
+        overflow bucket.
         """
         if self.count == 0:
             return exact_quantile([], q)  # validates q, returns nan
-        if self.exact:
+        if self.exact or self.reservoir:
             return exact_quantile(self._samples, q)
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"quantile must lie in [0, 100], got {q}")
@@ -195,7 +226,7 @@ class Histogram:
         return self.total / self.count if self.count else nan
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else nan,
@@ -211,6 +242,11 @@ class Histogram:
                 if c
             ],
         }
+        if self.reservoir:
+            # Only reservoir-mode snapshots grow this key, so default-mode
+            # exports stay byte-identical to prior versions.
+            snap["sampling"] = "reservoir"
+        return snap
 
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
@@ -221,6 +257,18 @@ class Histogram:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        if self.reservoir:
+            # Approximate merge: re-draw a seeded uniform subset of the
+            # pooled retained samples (each side's samples are themselves
+            # uniform over what that side observed).
+            pool = sorted(self._samples + list(other._samples))
+            if len(pool) <= self.max_samples:
+                self._samples = pool
+            else:
+                self._samples = sorted(
+                    self._rng.sample(pool, self.max_samples)
+                )
+            return
         for v in other._samples:
             if len(self._samples) >= self.max_samples:
                 break
@@ -281,6 +329,8 @@ class MetricRegistry:
         name: str,
         bounds: tuple[float, ...] | None = None,
         max_samples: int | None = None,
+        reservoir: bool | None = None,
+        reservoir_seed: int | None = None,
         **labels,
     ) -> Histogram:
         init = {}
@@ -288,6 +338,10 @@ class MetricRegistry:
             init["bounds"] = tuple(bounds)
         if max_samples is not None:
             init["max_samples"] = max_samples
+        if reservoir is not None:
+            init["reservoir"] = reservoir
+        if reservoir_seed is not None:
+            init["reservoir_seed"] = reservoir_seed
         return self._get("histogram", name, labels, **init)
 
     # ------------------------------------------------------------------ #
@@ -327,7 +381,12 @@ class MetricRegistry:
             entry = self._series.get(key)
             if entry is None:
                 if kind == "histogram":
-                    clone = Histogram(instrument.bounds, instrument.max_samples)
+                    clone = Histogram(
+                        instrument.bounds,
+                        instrument.max_samples,
+                        reservoir=instrument.reservoir,
+                        reservoir_seed=instrument.reservoir_seed,
+                    )
                 else:
                     clone = _KINDS[kind]()
                 clone.merge(instrument)

@@ -1,0 +1,38 @@
+"""repro.traffic — persona-driven traffic simulation and load testing.
+
+See ``docs/load_testing.md``.
+"""
+
+from .harness import (
+    LoadHarness,
+    TimedModel,
+    build_scenario_service,
+    build_two_stage_service,
+)
+from .personas import (
+    ARCHETYPES,
+    SCENARIO_MIXES,
+    PersonaArchetype,
+    PersonaMember,
+    PersonaPopulation,
+)
+from .report import LoadReport, PersonaStats, reconcile
+from .schedule import ScheduleProfile, TrafficRequest, TrafficSchedule
+
+__all__ = [
+    "ARCHETYPES",
+    "SCENARIO_MIXES",
+    "PersonaArchetype",
+    "PersonaMember",
+    "PersonaPopulation",
+    "ScheduleProfile",
+    "TrafficRequest",
+    "TrafficSchedule",
+    "TimedModel",
+    "LoadHarness",
+    "LoadReport",
+    "PersonaStats",
+    "reconcile",
+    "build_scenario_service",
+    "build_two_stage_service",
+]

@@ -1,0 +1,201 @@
+"""``python -m repro load-test`` — persona load runs and the CI smoke.
+
+Default mode builds one scenario world (population → schedule → timed
+service), replays it, and prints the rendered
+:class:`~repro.traffic.report.LoadReport` plus the exact-reconciliation
+verdict.  ``--smoke`` asserts, over a seed matrix, the invariants the
+``load-smoke`` CI job relies on — all simulated-time, no wall-clock
+timings:
+
+* every scheduled request receives a typed outcome (none lost, none
+  double-counted: the report reconciles exactly against telemetry);
+* same seed → byte-identical ``LoadReport`` JSON and identical
+  per-request outcome sequence across two runs, clean *and* with
+  serving faults injected;
+* clean runs answer >= 70% of requests, shed <= 40%, and shed at least
+  one request (the flash crowd actually overloads the queue);
+* a persona-driven online churn cell passes with its invariants intact
+  (the traffic → online bridge stays wired).
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigError
+
+from .harness import LoadHarness, build_scenario_service
+from .personas import SCENARIO_MIXES, PersonaPopulation
+from .report import LoadReport
+from .schedule import ScheduleProfile, TrafficSchedule
+
+__all__ = ["build_load_world", "run_load_test", "run_smoke"]
+
+#: The standard smoke/demo window: two simulated seconds with a diurnal
+#: cycle and one 3x flash crowd near the end.
+DEFAULT_PROFILE = ScheduleProfile(
+    horizon=2.0,
+    day_period=1.0,
+    flash_crowds=((0.8, 0.2, 3.0),),
+    rate_scale=8.0,
+)
+
+SMOKE_FAULT_RATE = 0.05
+MIN_RESPONSE_RATE = 0.7
+MAX_SHED_RATE = 0.4
+
+
+def build_load_world(
+    scenario: str = "movie",
+    seed: int = 0,
+    profile: ScheduleProfile | None = None,
+    fault_rate: float = 0.0,
+    num_users: int = 120,
+    trace: bool = False,
+):
+    """(harness, service, schedule) for one seeded scenario load run."""
+    profile = profile if profile is not None else DEFAULT_PROFILE
+    population = PersonaPopulation.from_scenario(
+        scenario, num_users=num_users, seed=seed
+    )
+    schedule = TrafficSchedule(population, profile, seed=seed)
+    service, clock, __ = build_scenario_service(
+        scenario, seed=seed, num_requests=len(schedule),
+        fault_rate=fault_rate, trace=trace,
+    )
+    harness = LoadHarness(
+        service, schedule, clock, name=f"{scenario}-load", seed=seed
+    )
+    return harness, service, schedule
+
+
+def run_load_test(
+    scenario: str = "movie",
+    seed: int = 0,
+    horizon: float = 2.0,
+    rate_scale: float = 8.0,
+    fault_rate: float = 0.0,
+) -> str:
+    """One rendered load run (the default CLI mode)."""
+    if scenario not in SCENARIO_MIXES:
+        raise SystemExit(
+            f"unknown scenario {scenario!r}; choose from "
+            f"{sorted(SCENARIO_MIXES)}"
+        )
+    profile = ScheduleProfile(
+        horizon=horizon,
+        day_period=DEFAULT_PROFILE.day_period,
+        flash_crowds=tuple(
+            (start * horizon / DEFAULT_PROFILE.horizon, duration, mult)
+            for start, duration, mult in DEFAULT_PROFILE.flash_crowds
+        ),
+        rate_scale=rate_scale,
+    )
+    harness, service, schedule = build_load_world(
+        scenario, seed=seed, profile=profile, fault_rate=fault_rate,
+        trace=True,
+    )
+    report = harness.run()
+    tally = harness.reconcile()
+    lines = [
+        harness.schedule.population.describe(),
+        schedule.describe(),
+        "",
+        report.render(),
+        "",
+        "telemetry reconciliation: exact ("
+        + ", ".join(f"{k}={v}" for k, v in tally.items())
+        + ")",
+    ]
+    return "\n".join(lines)
+
+
+def _one_run(scenario: str, seed: int, fault_rate: float) -> LoadHarness:
+    harness, __, ___ = build_load_world(
+        scenario, seed=seed, fault_rate=fault_rate, trace=True
+    )
+    harness.run()
+    return harness
+
+
+def _check_invariants(harness: LoadHarness, seed: int, clean: bool) -> None:
+    report = harness.report
+    label = "clean" if clean else "faulted"
+    if len(harness.outcome_trace) != len(harness.schedule):
+        raise AssertionError(
+            f"seed {seed} ({label}): {len(harness.outcome_trace)} outcomes "
+            f"for {len(harness.schedule)} scheduled requests"
+        )
+    if report.requests != len(harness.schedule):
+        raise AssertionError(
+            f"seed {seed} ({label}): report covers {report.requests} of "
+            f"{len(harness.schedule)} requests"
+        )
+    if report.rejected:
+        raise AssertionError(
+            f"seed {seed} ({label}): {report.rejected} requests rejected "
+            "(schedule emitted invalid requests)"
+        )
+    harness.reconcile()
+    if clean:
+        if report.response_rate() < MIN_RESPONSE_RATE:
+            raise AssertionError(
+                f"seed {seed}: response rate {report.response_rate():.3f} "
+                f"below {MIN_RESPONSE_RATE}"
+            )
+        if report.shed_rate() > MAX_SHED_RATE:
+            raise AssertionError(
+                f"seed {seed}: shed rate {report.shed_rate():.3f} "
+                f"above {MAX_SHED_RATE}"
+            )
+        if report.shed == 0:
+            raise AssertionError(
+                f"seed {seed}: flash crowd shed nothing; harness is not "
+                "exercising overload"
+            )
+
+
+def _online_bridge_cell(seed: int) -> str:
+    import tempfile
+
+    from repro.online.harness import run_churn_cell
+    from repro.traffic.stream import persona_stream_factory
+
+    factory = persona_stream_factory(scenario="news")
+    with tempfile.TemporaryDirectory(prefix="load-smoke-online-") as tmp:
+        cell = run_churn_cell(tmp, seed, "none", stream_factory=factory)
+    if not cell.ok:
+        raise AssertionError(
+            "persona-driven churn cell failed: " + cell.describe()
+        )
+    return cell.describe()
+
+
+def run_smoke(seeds: tuple[int, ...] = (0, 1, 2, 3, 4)) -> str:
+    """Seed-matrix invariants + determinism + online bridge (CI mode)."""
+    if not seeds:
+        raise ConfigError("smoke needs at least one seed")
+    lines = []
+    for seed in seeds:
+        for fault_rate, label in ((0.0, "clean"), (SMOKE_FAULT_RATE, "faulted")):
+            runs = [_one_run("movie", seed, fault_rate) for __ in range(2)]
+            if runs[0].report.to_json() != runs[1].report.to_json():
+                raise AssertionError(
+                    f"seed {seed} ({label}): LoadReport exports differ "
+                    "between runs"
+                )
+            if runs[0].outcome_trace != runs[1].outcome_trace:
+                raise AssertionError(
+                    f"seed {seed} ({label}): per-request outcome sequences "
+                    "differ between runs"
+                )
+            _check_invariants(runs[0], seed, clean=fault_rate == 0.0)
+            report = runs[0].report
+            lines.append(
+                f"seed {seed} ({label}): {report.requests} requests, "
+                f"rr={report.response_rate():.3f} "
+                f"shed={report.shed_rate():.3f} "
+                f"deg={report.degrade_rate():.3f} "
+                f"p99={report.latency_p99 * 1e3:.3f}ms, reconciled, "
+                "deterministic"
+            )
+    lines.append("online bridge: " + _online_bridge_cell(seeds[0]))
+    return "load smoke OK\n" + "\n".join(lines)
